@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: LLT size (Section 4.2). Sweeps the Log Lookup Table and
+ * reports the miss rate and log traffic per size; a larger LLT absorbs
+ * more repeated-granule logging.
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Ablation: LLT size sweep (8-way)\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n\n";
+
+    TablePrinter table({"LLT", "QE miss", "RT miss", "QE cyc x",
+                        "RT cyc x"});
+    table.printHeader(std::cout);
+
+    double qe_base = 0, rt_base = 0;
+    for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        SystemConfig cfg = opts.makeConfig();
+        cfg.logging.lltEntries = entries;
+        cfg.logging.lltWays = std::min(entries, 8u);
+        std::cerr << "  LLT=" << entries << "...\n";
+        const RunResult qe = runExperiment(
+            cfg, LogScheme::Proteus, WorkloadKind::Queue, opts);
+        const RunResult rt = runExperiment(
+            cfg, LogScheme::Proteus, WorkloadKind::RbTree, opts);
+        if (qe_base == 0) {
+            qe_base = static_cast<double>(qe.cycles);
+            rt_base = static_cast<double>(rt.cycles);
+        }
+        table.printRow(
+            std::cout,
+            {std::to_string(entries),
+             TablePrinter::fmt(100.0 * qe.lltMissRate, 1) + "%",
+             TablePrinter::fmt(100.0 * rt.lltMissRate, 1) + "%",
+             TablePrinter::fmt(qe.cycles / qe_base),
+             TablePrinter::fmt(rt.cycles / rt_base)});
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: run a
+ * matrix of (scheme x workload), cache baselines, and print rows in
+ * the paper's layout.
+ */
+
+#ifndef PROTEUS_BENCH_BENCH_UTIL_HH
+#define PROTEUS_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hh"
+
+namespace proteus {
+namespace bench {
+
+/** One scheme's speedups across the Table 2 workloads. */
+struct SpeedupRow
+{
+    LogScheme scheme;
+    std::vector<double> speedups;   ///< per workload, then geomean
+};
+
+/** Results of a full (scheme x workload) sweep. */
+struct Matrix
+{
+    std::vector<WorkloadKind> workloads;
+    std::map<LogScheme, std::vector<RunResult>> results;
+
+    const RunResult &
+    at(LogScheme s, std::size_t w) const
+    {
+        return results.at(s)[w];
+    }
+};
+
+/** Run every (scheme, workload) pair with shared options. */
+inline Matrix
+runMatrix(const BenchOptions &opts, const std::vector<LogScheme> &schemes,
+          const std::vector<WorkloadKind> &workloads)
+{
+    Matrix m;
+    m.workloads = workloads;
+    for (LogScheme s : schemes) {
+        for (WorkloadKind w : workloads) {
+            std::cerr << "  running " << toString(s) << " / "
+                      << toString(w) << "...\n";
+            m.results[s].push_back(
+                runExperiment(opts.makeConfig(), s, w, opts));
+        }
+    }
+    return m;
+}
+
+/** Print a speedup table: rows = schemes, columns = workloads+geomean,
+ *  baseline = @p baseline cycles per workload. */
+inline void
+printSpeedups(const Matrix &m, LogScheme baseline,
+              const std::string &title)
+{
+    std::vector<std::string> cols{"scheme"};
+    for (WorkloadKind w : m.workloads)
+        cols.push_back(toString(w));
+    cols.push_back("geomean");
+
+    std::cout << "\n" << title << "\n";
+    TablePrinter table(cols);
+    table.printHeader(std::cout);
+    for (const auto &[scheme, results] : m.results) {
+        std::vector<std::string> cells{toString(scheme)};
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const double base =
+                static_cast<double>(m.at(baseline, i).cycles);
+            const double s = base / results[i].cycles;
+            speedups.push_back(s);
+            cells.push_back(TablePrinter::fmt(s));
+        }
+        cells.push_back(TablePrinter::fmt(geomean(speedups)));
+        table.printRow(std::cout, cells);
+    }
+}
+
+/** Print a per-workload metric normalized to @p baseline's metric. */
+template <typename Fn>
+inline void
+printNormalized(const Matrix &m, LogScheme baseline, Fn metric,
+                const std::string &title)
+{
+    std::vector<std::string> cols{"scheme"};
+    for (WorkloadKind w : m.workloads)
+        cols.push_back(toString(w));
+    cols.push_back("mean");
+
+    std::cout << "\n" << title << "\n";
+    TablePrinter table(cols);
+    table.printHeader(std::cout);
+    for (const auto &[scheme, results] : m.results) {
+        std::vector<std::string> cells{toString(scheme)};
+        double sum = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const double base = metric(m.at(baseline, i));
+            const double v =
+                base > 0 ? metric(results[i]) / base : 0.0;
+            sum += v;
+            cells.push_back(TablePrinter::fmt(v));
+        }
+        cells.push_back(TablePrinter::fmt(
+            sum / static_cast<double>(results.size())));
+        table.printRow(std::cout, cells);
+    }
+}
+
+} // namespace bench
+} // namespace proteus
+
+#endif // PROTEUS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7: pipeline front-end stall cycles (dispatch blocked on ROB /
+ * physical registers / LSQ / logging hardware), normalized to
+ * PMEM+nolog.
+ *
+ * Paper anchors: ATOM has 16% more stalls than the ideal case and 12%
+ * more than Proteus; Proteus is within 4% of the ideal.
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Figure 7: front-end stall cycles normalized to "
+              << "PMEM+nolog\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n";
+
+    const auto matrix = bench::runMatrix(
+        opts,
+        {LogScheme::PMEMNoLog, LogScheme::ATOM, LogScheme::Proteus},
+        allPaperWorkloads());
+
+    bench::printNormalized(
+        matrix, LogScheme::PMEMNoLog,
+        [](const RunResult &r) {
+            return static_cast<double>(r.frontendStallCycles);
+        },
+        "Front-end stalls / PMEM+nolog (paper Figure 7)");
+
+    double atom_sum = 0, proteus_sum = 0;
+    for (std::size_t i = 0; i < matrix.workloads.size(); ++i) {
+        const double base = static_cast<double>(
+            matrix.at(LogScheme::PMEMNoLog, i).frontendStallCycles);
+        if (base <= 0)
+            continue;
+        atom_sum +=
+            matrix.at(LogScheme::ATOM, i).frontendStallCycles / base;
+        proteus_sum +=
+            matrix.at(LogScheme::Proteus, i).frontendStallCycles /
+            base;
+    }
+    const double n = static_cast<double>(matrix.workloads.size());
+    std::cout << "\nderived:\n"
+              << "  ATOM stalls vs ideal:    +"
+              << TablePrinter::fmt(100.0 * (atom_sum / n - 1.0), 1)
+              << "%  (paper: +16%)\n"
+              << "  Proteus stalls vs ideal: +"
+              << TablePrinter::fmt(100.0 * (proteus_sum / n - 1.0), 1)
+              << "%  (paper: +4%)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11: Proteus speedup over PMEM while varying the LogQ size
+ * from 1 to 64 entries.
+ *
+ * Paper anchors: speedup grows with LogQ size with diminishing
+ * returns; 8 entries reach 1.44x, 64 entries ~1.47x; the paper picks
+ * 16 because the 8->16 step matters more on DRAM (run with --dram to
+ * reproduce that sensitivity, Section 7.2).
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Figure 11: speedup vs LogQ size (baseline PMEM"
+              << (opts.dram ? ", DRAM timing" : "") << ")\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n";
+
+    const auto workloads = allPaperWorkloads();
+
+    // Per-workload PMEM baselines, shared across the sweep.
+    std::vector<double> base;
+    for (WorkloadKind w : workloads) {
+        std::cerr << "  baseline PMEM / " << toString(w) << "...\n";
+        base.push_back(static_cast<double>(
+            runExperiment(opts.makeConfig(), LogScheme::PMEM, w, opts)
+                .cycles));
+    }
+
+    std::vector<std::string> cols{"LogQ"};
+    for (WorkloadKind w : workloads)
+        cols.push_back(toString(w));
+    cols.push_back("geomean");
+    TablePrinter table(cols);
+    std::cout << "\nProteus speedup over PMEM (paper Figure 11)\n";
+    table.printHeader(std::cout);
+
+    for (unsigned logq : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        std::vector<std::string> cells{std::to_string(logq)};
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            std::cerr << "  LogQ=" << logq << " / "
+                      << toString(workloads[i]) << "...\n";
+            SystemConfig cfg = opts.makeConfig();
+            cfg.logging.logQEntries = logq;
+            const RunResult r = runExperiment(
+                cfg, LogScheme::Proteus, workloads[i], opts);
+            const double s = base[i] / r.cycles;
+            speedups.push_back(s);
+            cells.push_back(TablePrinter::fmt(s));
+        }
+        cells.push_back(TablePrinter::fmt(geomean(speedups)));
+        table.printRow(std::cout, cells);
+    }
+    return 0;
+}

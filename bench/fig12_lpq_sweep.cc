@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 12: Proteus speedup over PMEM while varying the LPQ size
+ * (with the LogQ fixed at the chosen 16 entries).
+ *
+ * Paper anchor: performance is flat once the LPQ is large enough for
+ * the transaction footprint and drops rapidly below that; the paper
+ * selects 256 entries.
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Figure 12: speedup vs LPQ size (LogQ=16, baseline "
+              << "PMEM)\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n";
+
+    const auto workloads = allPaperWorkloads();
+    std::vector<double> base;
+    for (WorkloadKind w : workloads) {
+        std::cerr << "  baseline PMEM / " << toString(w) << "...\n";
+        base.push_back(static_cast<double>(
+            runExperiment(opts.makeConfig(), LogScheme::PMEM, w, opts)
+                .cycles));
+    }
+
+    std::vector<std::string> cols{"LPQ"};
+    for (WorkloadKind w : workloads)
+        cols.push_back(toString(w));
+    cols.push_back("geomean");
+    TablePrinter table(cols);
+    std::cout << "\nProteus speedup over PMEM (paper Figure 12)\n";
+    table.printHeader(std::cout);
+
+    for (unsigned lpq : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+        std::vector<std::string> cells{std::to_string(lpq)};
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            std::cerr << "  LPQ=" << lpq << " / "
+                      << toString(workloads[i]) << "...\n";
+            SystemConfig cfg = opts.makeConfig();
+            cfg.logging.logQEntries = 16;
+            cfg.memCtrl.lpqEntries = lpq;
+            const RunResult r = runExperiment(
+                cfg, LogScheme::Proteus, workloads[i], opts);
+            const double s = base[i] / r.cycles;
+            speedups.push_back(s);
+            cells.push_back(TablePrinter::fmt(s));
+        }
+        cells.push_back(TablePrinter::fmt(geomean(speedups)));
+        table.printRow(std::cout, cells);
+    }
+    return 0;
+}

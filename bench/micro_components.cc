@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates: how
+ * fast is the simulator itself (host-side), per component.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/nvm_timing.hh"
+#include "cache/cache_array.hh"
+#include "heap/memory_image.hh"
+#include "logging/llt.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace proteus;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue q;
+    Tick now = 0;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i)
+            q.schedule(now + 1 + (i % 7), [&fired]() { ++fired; });
+        q.runUntil(now + 8);
+        now += 8;
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_MemoryImageWrite64(benchmark::State &state)
+{
+    MemoryImage img;
+    Random rng(1);
+    for (auto _ : state)
+        img.write64(rng.nextBelow(1 << 26) * 8, 42);
+}
+BENCHMARK(BM_MemoryImageWrite64);
+
+void
+BM_MemoryImageRead64(benchmark::State &state)
+{
+    MemoryImage img;
+    for (Addr a = 0; a < (1 << 22); a += 8)
+        img.write64(a, a);
+    Random rng(2);
+    std::uint64_t sum = 0;
+    for (auto _ : state)
+        sum += img.read64(rng.nextBelow(1 << 19) * 8);
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_MemoryImageRead64);
+
+void
+BM_CacheArrayProbeInsert(benchmark::State &state)
+{
+    stats::StatRegistry reg;
+    CacheConfig cfg{32 * 1024, 8, 4, 16, 16};
+    CacheArray array(cfg, reg, "bm.cache");
+    Random rng(3);
+    for (auto _ : state) {
+        const Addr block = rng.nextBelow(4096) * 64;
+        if (!array.probe(block))
+            array.insert(block, false);
+        else
+            array.touch(block);
+    }
+}
+BENCHMARK(BM_CacheArrayProbeInsert);
+
+void
+BM_LltLookup(benchmark::State &state)
+{
+    stats::StatRegistry reg;
+    LogLookupTable llt(64, 8, reg, "bm.llt");
+    Random rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            llt.lookupInsert(rng.nextBelow(256) * 32));
+}
+BENCHMARK(BM_LltLookup);
+
+void
+BM_NvmTimingIssue(benchmark::State &state)
+{
+    stats::StatRegistry reg;
+    MemTimingConfig cfg;
+    NvmTiming dram(cfg, reg, "bm.dram");
+    Random rng(5);
+    Tick now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.nextBelow(1 << 20) * 64;
+        while (!dram.bankReady(addr, now))
+            now += 4;
+        benchmark::DoNotOptimize(
+            dram.issue(addr, rng.nextBool(0.4), now));
+        ++now;
+    }
+}
+BENCHMARK(BM_NvmTimingIssue);
+
+void
+BM_Xoshiro(benchmark::State &state)
+{
+    Random rng(6);
+    std::uint64_t sum = 0;
+    for (auto _ : state)
+        sum += rng.next();
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_Xoshiro);
+
+} // namespace
+
+BENCHMARK_MAIN();

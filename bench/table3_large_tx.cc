@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 3: speedups for large transactions — the linked-list
+ * microbenchmark updates 1024..8192 elements per node in a single
+ * durable transaction.
+ *
+ * Paper anchors: Proteus 1.20-1.24 vs ideal 1.23-1.27 over PMEM; the
+ * LogQ/LLT/LPQ sustain transactions with 20-156x more log entries.
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Table 3: speedups for large transactions "
+              << "(linked-list microbenchmark)\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n\n";
+
+    TablePrinter table({"tx size", "Proteus", "ideal",
+                        "LLT miss", "dropped"});
+    table.printHeader(std::cout);
+
+    for (unsigned elements : {1024u, 2048u, 4096u, 8192u}) {
+        LinkedListOptions ll;
+        ll.elementsPerNode = elements;
+
+        std::cerr << "  elements=" << elements << " PMEM...\n";
+        const double base = static_cast<double>(
+            runExperiment(opts.makeConfig(), LogScheme::PMEM,
+                          WorkloadKind::LinkedList, opts, ll)
+                .cycles);
+        std::cerr << "  elements=" << elements << " Proteus...\n";
+        const RunResult proteus =
+            runExperiment(opts.makeConfig(), LogScheme::Proteus,
+                          WorkloadKind::LinkedList, opts, ll);
+        std::cerr << "  elements=" << elements << " nolog...\n";
+        const RunResult ideal =
+            runExperiment(opts.makeConfig(), LogScheme::PMEMNoLog,
+                          WorkloadKind::LinkedList, opts, ll);
+
+        table.printRow(
+            std::cout,
+            {std::to_string(elements),
+             TablePrinter::fmt(base / proteus.cycles),
+             TablePrinter::fmt(base / ideal.cycles),
+             TablePrinter::fmt(100.0 * proteus.lltMissRate, 1) + "%",
+             std::to_string(proteus.logWritesDropped)});
+    }
+    return 0;
+}

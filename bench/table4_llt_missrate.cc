@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 4: LLT miss rate per benchmark with the 64-entry, 8-way LLT.
+ *
+ * Paper anchors: AT 37.2, BT 36.1, HM 39.2, RT 51.6, SS 24.5,
+ * QE 22.5 (percent). Higher miss rate = more log entries per
+ * transaction; the LLT absorbs half to three quarters of logging
+ * traffic.
+ */
+
+#include "bench_util.hh"
+
+using namespace proteus;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cout << "Table 4: LLT miss rate (64 entries, 8-way)\n"
+              << "scale=" << opts.scale << " threads=" << opts.threads
+              << "\n\n";
+
+    const std::map<std::string, double> paper = {
+        {"AT", 37.2}, {"BT", 36.1}, {"HM", 39.2},
+        {"RT", 51.6}, {"SS", 24.5}, {"QE", 22.5}};
+
+    TablePrinter table({"benchmark", "miss rate", "paper"});
+    table.printHeader(std::cout);
+    for (WorkloadKind w : allPaperWorkloads()) {
+        std::cerr << "  running " << toString(w) << "...\n";
+        const RunResult r = runExperiment(
+            opts.makeConfig(), LogScheme::Proteus, w, opts);
+        table.printRow(
+            std::cout,
+            {toString(w),
+             TablePrinter::fmt(100.0 * r.lltMissRate, 1) + "%",
+             TablePrinter::fmt(paper.at(toString(w)), 1) + "%"});
+    }
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Persistency-model demo (Section 2.1): the same three stores under
+ * strict persistency (clwb + sfence after every store) and epoch
+ * persistency (one barrier per epoch), built directly as micro-op
+ * traces. Shows what the PMEM primitives cost the pipeline and why
+ * write coalescing within an epoch matters — the context that makes
+ * durable transactions (and Proteus) attractive.
+ */
+
+#include <iostream>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "cpu/lock_manager.hh"
+#include "heap/persistent_heap.hh"
+#include "harness/experiments.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+constexpr Addr base = PersistentHeap::persistentBase;
+
+MicroOp
+store(Addr a, std::uint64_t v)
+{
+    MicroOp m;
+    m.op = Op::Store;
+    m.addr = a;
+    m.size = 8;
+    m.data = v;
+    m.persistent = true;
+    return m;
+}
+
+MicroOp
+simple(Op op, Addr a = invalidAddr)
+{
+    MicroOp m;
+    m.op = op;
+    m.addr = a;
+    return m;
+}
+
+/** Run @p trace on a fresh single-core machine; @return cycles. */
+Tick
+run(const Trace &trace, std::uint64_t *nvm_writes = nullptr)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.cores = 1;
+    cfg.logging.scheme = LogScheme::PMEMNoLog;
+    Simulator sim;
+    MemoryImage nvm;
+    MemCtrl mc(sim, cfg, nvm);
+    CacheHierarchy caches(sim, cfg, mc, nvm);
+    LockManager locks(sim);
+    Core core(sim, cfg, 0, trace, caches, mc, locks);
+    sim.addTicked(&mc);
+    sim.addTicked(&core);
+    if (!sim.runUntil([&]() { return core.done(); }, 10'000'000))
+        fatal("trace did not drain");
+    if (nvm_writes) {
+        sim.runUntil([&]() { return mc.empty(); }, 10'000'000);
+        *nvm_writes = mc.nvmWrites();
+    }
+    return sim.now();
+}
+
+} // namespace
+
+int
+main()
+{
+    // The paper's Section 2.1 listing: X and Y share a cache block,
+    // Z lives in the next one. 100 repetitions of the 3-store pattern.
+    constexpr int reps = 100;
+
+    // Strict persistency: st X; clwb; sfence; st Y; clwb; sfence; st Z.
+    Trace strict;
+    for (int i = 0; i < reps; ++i) {
+        strict.push(store(base + 0, i));
+        strict.push(simple(Op::ClWb, base + 0));
+        strict.push(simple(Op::SFence));
+        strict.push(store(base + 8, i));
+        strict.push(simple(Op::ClWb, base + 8));
+        strict.push(simple(Op::SFence));
+        strict.push(store(base + 64, i));
+        strict.push(simple(Op::ClWb, base + 64));
+        strict.push(simple(Op::SFence));
+    }
+
+    // Epoch persistency: {st X; st Y} | barrier | {st Z} | barrier.
+    Trace epoch;
+    for (int i = 0; i < reps; ++i) {
+        epoch.push(store(base + 0, i));
+        epoch.push(store(base + 8, i));
+        epoch.push(simple(Op::ClWb, base + 0));
+        epoch.push(simple(Op::SFence));
+        epoch.push(store(base + 64, i));
+        epoch.push(simple(Op::ClWb, base + 64));
+        epoch.push(simple(Op::SFence));
+    }
+
+    std::uint64_t strict_writes = 0, epoch_writes = 0;
+    const Tick strict_cycles = run(strict, &strict_writes);
+    const Tick epoch_cycles = run(epoch, &epoch_writes);
+
+    std::cout << "Section 2.1: ordering three persistent stores, x"
+              << reps << "\n\n"
+              << "strict persistency: " << strict_cycles
+              << " cycles, " << strict_writes << " NVM writes\n"
+              << "epoch persistency:  " << epoch_cycles << " cycles, "
+              << epoch_writes << " NVM writes\n\n"
+              << "epoch persistency is "
+              << TablePrinter::fmt(
+                     static_cast<double>(strict_cycles) / epoch_cycles)
+              << "x faster: stores within an epoch coalesce (X and Y "
+              << "share a block)\nand only the barrier waits. Durable "
+              << "transactions relax ordering further --\nthat is the "
+              << "opportunity Proteus's hardware logging exploits.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A set-associative, write-back tag array with true-LRU replacement.
+ * Timing-only: data contents live in the hierarchy's DirtyDataTracker.
+ */
+
+#ifndef PROTEUS_CACHE_CACHE_ARRAY_HH
+#define PROTEUS_CACHE_CACHE_ARRAY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Tags + state of one cache level. */
+class CacheArray
+{
+  public:
+    CacheArray(const CacheConfig &cfg, stats::StatRegistry &stats,
+               const std::string &name);
+
+    /** An evicted line. */
+    struct Victim
+    {
+        Addr block;
+        bool dirty;
+    };
+
+    /** @return true if @p block is present (no LRU update). */
+    bool probe(Addr block) const;
+
+    /** Update LRU for @p block (must be present). */
+    void touch(Addr block);
+
+    bool isDirty(Addr block) const;
+    void setDirty(Addr block);
+
+    /**
+     * Insert @p block (touching it), evicting the LRU line of the set
+     * if needed. @return the victim if one was evicted.
+     */
+    std::optional<Victim> insert(Addr block, bool dirty);
+
+    /** Remove @p block if present. @return true if it was dirty. */
+    bool invalidate(Addr block);
+
+    /** Clear the dirty bit but keep the line (clwb semantics).
+     *  @return true if the line was present and dirty. */
+    bool clean(Addr block);
+
+    unsigned latency() const { return _latency; }
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(_hits.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(_misses.value());
+    }
+
+    /** Stat helpers called by the hierarchy. */
+    void noteHit() { ++_hits; }
+    void noteMiss() { ++_misses; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr block = invalidAddr;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(Addr block) const;
+    Line *findLine(Addr block);
+    const Line *findLine(Addr block) const;
+
+    unsigned _ways;
+    unsigned _latency;
+    std::size_t _sets;
+    std::uint64_t _useCounter = 0;
+    std::vector<Line> _lines;   ///< _sets x _ways, row-major
+
+    stats::Scalar _hits;
+    stats::Scalar _misses;
+    stats::Scalar _writebacks;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,419 @@
+#include "hierarchy.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+/** Cross-core dirty transfer penalty (snoop + forward). */
+constexpr Tick remotePenalty = 40;
+/** MC acknowledgment return latency. */
+constexpr Tick mcAckLatency = 10;
+/** One-way latency of the uncacheable log-flush path to the MC. */
+constexpr Tick uncacheableLatency = 30;
+/** Retry interval when a MC queue is full. */
+constexpr Tick mcRetryInterval = 4;
+/** Link occupancy in cycles for one 64B transfer. */
+constexpr Tick l2l3Occupancy = 2;   // 32B/cycle (Table 1)
+
+} // namespace
+
+void
+DirtyDataTracker::applyStore(Addr addr, unsigned size, std::uint64_t value)
+{
+    const Addr block = blockAlign(addr);
+    if (blockAlign(addr + size - 1) != block)
+        panic("DirtyDataTracker: store crosses a cache block");
+    auto &bytes = entry(block);
+    std::memcpy(bytes.data() + (addr - block), &value, size);
+}
+
+std::array<std::uint8_t, blockSize>
+DirtyDataTracker::snapshot(Addr block) const
+{
+    auto it = _blocks.find(block);
+    if (it != _blocks.end())
+        return it->second;
+    std::array<std::uint8_t, blockSize> bytes{};
+    _nvm.read(block, bytes.data(), bytes.size());
+    return bytes;
+}
+
+std::array<std::uint8_t, blockSize> &
+DirtyDataTracker::entry(Addr block)
+{
+    auto it = _blocks.find(block);
+    if (it == _blocks.end()) {
+        std::array<std::uint8_t, blockSize> bytes{};
+        _nvm.read(block, bytes.data(), bytes.size());
+        it = _blocks.emplace(block, bytes).first;
+    }
+    return it->second;
+}
+
+CacheHierarchy::CacheHierarchy(Simulator &sim, const SystemConfig &cfg,
+                               MemCtrl &mc, const MemoryImage &nvm)
+    : _sim(sim), _cfg(cfg), _mc(mc), _tracker(nvm),
+      _mshrs(cfg.cores), _l2l3Links(cfg.cores),
+      _loads(sim.statsRegistry(), "cache.loads", "loads issued"),
+      _stores(sim.statsRegistry(), "cache.stores", "stores released"),
+      _flushes(sim.statsRegistry(), "cache.flushes", "clwb operations"),
+      _flushesDirty(sim.statsRegistry(), "cache.flushesDirty",
+                    "clwb operations that wrote back data"),
+      _remoteTransfers(sim.statsRegistry(), "cache.remoteTransfers",
+                       "cross-core dirty transfers"),
+      _mshrRejects(sim.statsRegistry(), "cache.mshrRejects",
+                   "requests rejected for lack of MSHRs")
+{
+    auto &stats = sim.statsRegistry();
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        _l1.push_back(std::make_unique<CacheArray>(
+            cfg.caches.l1d, stats, "cache.l1d" + std::to_string(c)));
+        _l2.push_back(std::make_unique<CacheArray>(
+            cfg.caches.l2, stats, "cache.l2_" + std::to_string(c)));
+    }
+    _l3 = std::make_unique<CacheArray>(cfg.caches.l3, stats, "cache.l3");
+}
+
+Tick
+CacheHierarchy::privatePathLatency(CoreId core) const
+{
+    return _l1[core]->latency() + _l2[core]->latency();
+}
+
+Tick
+CacheHierarchy::handleCoherence(CoreId core, Addr block, bool exclusive,
+                                bool &fill_dirty)
+{
+    DirEntry &dir = _directory[block];
+    Tick penalty = 0;
+    fill_dirty = false;
+
+    if (dir.owner >= 0 && dir.owner != static_cast<int>(core)) {
+        // Another core may hold the line modified.
+        const auto owner = static_cast<CoreId>(dir.owner);
+        bool was_dirty = _l1[owner]->invalidate(block);
+        was_dirty |= _l2[owner]->invalidate(block);
+        if (was_dirty) {
+            ++_remoteTransfers;
+            penalty = remotePenalty;
+            if (exclusive) {
+                // Dirty ownership migrates with the line.
+                fill_dirty = true;
+            } else {
+                // Downgrade: the shared L3 absorbs the dirty copy.
+                insertWithVictims(core, block, false);
+                if (auto victim = _l3->insert(block, true))
+                    handleL3Victim(*victim);
+            }
+        }
+        dir.owner = -1;
+    }
+
+    if (exclusive) {
+        dir.owner = static_cast<int>(core);
+        dir.sharers = 1u << core;
+    } else {
+        dir.sharers |= 1u << core;
+    }
+    return penalty;
+}
+
+void
+CacheHierarchy::handleL3Victim(const CacheArray::Victim &victim)
+{
+    if (!victim.dirty)
+        return;
+    WriteRequest req;
+    req.addr = victim.block;
+    req.kind = WriteKind::Data;
+    req.core = 0;
+    req.txId = 0;
+    req.data = _tracker.snapshot(victim.block);
+    ++_pendingEvictions;
+    queueMcWrite(std::move(req),
+                 [this]() { --_pendingEvictions; },
+                 true);
+}
+
+void
+CacheHierarchy::insertWithVictims(CoreId core, Addr block, bool dirty)
+{
+    // Fill L1; dirty victims ripple into L2, then L3, then memory.
+    if (auto v1 = _l1[core]->insert(block, dirty)) {
+        if (auto v2 = _l2[core]->insert(v1->block, v1->dirty)) {
+            if (v2->dirty) {
+                if (auto v3 = _l3->insert(v2->block, true))
+                    handleL3Victim(*v3);
+            }
+        } else if (v1->dirty) {
+            _l2[core]->setDirty(v1->block);
+        }
+    }
+}
+
+void
+CacheHierarchy::completeMshr(CoreId core, Addr block)
+{
+    auto it = _mshrs[core].find(block);
+    if (it == _mshrs[core].end())
+        panic("CacheHierarchy: MSHR completion for absent entry");
+    auto callbacks = std::move(it->second.callbacks);
+    _mshrs[core].erase(it);
+    for (auto &cb : callbacks) {
+        if (cb)
+            cb();
+    }
+}
+
+void
+CacheHierarchy::finishFill(CoreId core, Addr block, bool exclusive,
+                           bool fill_dirty, Tick latency)
+{
+    (void)exclusive;
+    insertWithVictims(core, block, fill_dirty);
+    _sim.schedule(latency, [this, core, block]() {
+        completeMshr(core, block);
+    });
+}
+
+void
+CacheHierarchy::fillPath(CoreId core, Addr block, bool exclusive)
+{
+    bool fill_dirty = false;
+    const Tick penalty =
+        handleCoherence(core, block, exclusive, fill_dirty);
+
+    const Tick l1_lat = _l1[core]->latency();
+    const Tick l2_lat = _l2[core]->latency();
+    const Tick l3_lat = _l3->latency();
+
+    if (_l2[core]->probe(block)) {
+        _l2[core]->noteHit();
+        _l2[core]->touch(block);
+        finishFill(core, block, exclusive, fill_dirty,
+                   l1_lat + l2_lat + penalty);
+        return;
+    }
+    _l2[core]->noteMiss();
+
+    if (_l3->probe(block)) {
+        _l3->noteHit();
+        _l3->touch(block);
+        const Tick start =
+            _l2l3Links[core].acquire(_sim.now(), l2l3Occupancy);
+        finishFill(core, block, exclusive, fill_dirty,
+                   (start - _sim.now()) + l1_lat + l2_lat + l3_lat +
+                       penalty);
+        return;
+    }
+    _l3->noteMiss();
+
+    const Tick path = l1_lat + l2_lat + l3_lat + penalty;
+    _sim.schedule(path, [this, core, block, exclusive, fill_dirty]() {
+        queueMcRead(block, [this, core, block, exclusive, fill_dirty]() {
+            if (auto victim = _l3->insert(block, false))
+                handleL3Victim(*victim);
+            finishFill(core, block, exclusive, fill_dirty,
+                       mcAckLatency + _l2[core]->latency() +
+                           _l1[core]->latency());
+        });
+    });
+}
+
+void
+CacheHierarchy::queueMcRead(Addr block, std::function<void()> on_data)
+{
+    if (!_mc.canAcceptRead()) {
+        _sim.schedule(mcRetryInterval,
+                      [this, block, on_data = std::move(on_data)]() {
+                          queueMcRead(block, std::move(on_data));
+                      });
+        return;
+    }
+    const Tick start = _l3McLink.acquire(_sim.now(), 4);
+    _sim.schedule(start - _sim.now(),
+                  [this, block, on_data = std::move(on_data)]() mutable {
+                      if (_mc.canAcceptRead()) {
+                          _mc.read(block, std::move(on_data));
+                      } else {
+                          queueMcRead(block, std::move(on_data));
+                      }
+                  });
+}
+
+void
+CacheHierarchy::queueMcWrite(WriteRequest req, std::function<void()> on_ack,
+                             bool refresh_from_tracker)
+{
+    if (!_mc.canAcceptWrite(req.kind)) {
+        _sim.schedule(mcRetryInterval,
+                      [this, req = std::move(req),
+                       on_ack = std::move(on_ack),
+                       refresh_from_tracker]() mutable {
+                          queueMcWrite(std::move(req), std::move(on_ack),
+                                       refresh_from_tracker);
+                      });
+        return;
+    }
+    const Tick start = _l3McLink.acquire(_sim.now(), 4);
+    _sim.schedule(
+        start - _sim.now(),
+        [this, req = std::move(req), on_ack = std::move(on_ack),
+         refresh_from_tracker]() mutable {
+            if (!_mc.canAcceptWrite(req.kind)) {
+                queueMcWrite(std::move(req), std::move(on_ack),
+                             refresh_from_tracker);
+                return;
+            }
+            // Tracker-backed writes (flushes, evictions) take their
+            // final snapshot at acceptance: retries must never let an
+            // older snapshot be accepted after a newer one (same-block
+            // writes would be reordered by write combining).
+            if (refresh_from_tracker)
+                req.data = _tracker.snapshot(req.addr);
+            _mc.write(req);
+            if (on_ack)
+                _sim.schedule(mcAckLatency, std::move(on_ack));
+        });
+}
+
+bool
+CacheHierarchy::load(CoreId core, Addr addr, unsigned size,
+                     std::function<void()> on_complete)
+{
+    ++_loads;
+    const Addr block = blockAlign(addr);
+    if (blockAlign(addr + (size ? size : 1) - 1) != block)
+        panic("CacheHierarchy::load crosses a block boundary");
+
+    CacheArray &l1 = *_l1[core];
+    if (l1.probe(block)) {
+        l1.noteHit();
+        l1.touch(block);
+        _sim.schedule(l1.latency(), std::move(on_complete));
+        return true;
+    }
+    l1.noteMiss();
+
+    auto &mshrs = _mshrs[core];
+    if (auto it = mshrs.find(block); it != mshrs.end()) {
+        it->second.callbacks.push_back(std::move(on_complete));
+        return true;
+    }
+    if (mshrs.size() >= _cfg.caches.l1d.mshrs) {
+        ++_mshrRejects;
+        return false;
+    }
+    mshrs[block].callbacks.push_back(std::move(on_complete));
+    fillPath(core, block, false);
+    return true;
+}
+
+bool
+CacheHierarchy::store(CoreId core, Addr addr, unsigned size,
+                      std::uint64_t value, TxId tx,
+                      std::function<void()> on_complete)
+{
+    (void)tx;
+    ++_stores;
+    const Addr block = blockAlign(addr);
+
+    // Values apply to the tracker at release time: the store buffer
+    // releases in program order, and a later same-address store must
+    // not be overtaken by an earlier one whose fill completes late.
+    _tracker.applyStore(addr, size, value);
+
+    CacheArray &l1 = *_l1[core];
+    DirEntry &dir = _directory[block];
+    if (l1.probe(block) && dir.owner == static_cast<int>(core)) {
+        l1.noteHit();
+        l1.touch(block);
+        l1.setDirty(block);
+        _sim.schedule(1, std::move(on_complete));
+        return true;
+    }
+    l1.noteMiss();
+
+    auto apply = [this, core, block,
+                  on_complete = std::move(on_complete)]() {
+        // The line was filled exclusively; mark it modified.
+        if (_l1[core]->probe(block))
+            _l1[core]->setDirty(block);
+        if (on_complete)
+            on_complete();
+    };
+
+    auto &mshrs = _mshrs[core];
+    if (auto it = mshrs.find(block); it != mshrs.end()) {
+        // Merge into the outstanding fill and upgrade it to exclusive.
+        bool fill_dirty = false;
+        handleCoherence(core, block, true, fill_dirty);
+        it->second.callbacks.push_back(std::move(apply));
+        return true;
+    }
+    if (mshrs.size() >= _cfg.caches.l1d.mshrs) {
+        ++_mshrRejects;
+        return false;
+    }
+    mshrs[block].callbacks.push_back(std::move(apply));
+    fillPath(core, block, true);
+    return true;
+}
+
+void
+CacheHierarchy::flush(CoreId core, Addr block, TxId tx,
+                      std::function<void()> on_ack)
+{
+    ++_flushes;
+    if (block != blockAlign(block))
+        panic("CacheHierarchy::flush of an unaligned block");
+
+    bool dirty = _l1[core]->clean(block);
+    dirty |= _l2[core]->clean(block);
+
+    auto dir_it = _directory.find(block);
+    if (dir_it != _directory.end() && dir_it->second.owner >= 0 &&
+        dir_it->second.owner != static_cast<int>(core)) {
+        const auto owner = static_cast<CoreId>(dir_it->second.owner);
+        dirty |= _l1[owner]->clean(block);
+        dirty |= _l2[owner]->clean(block);
+    }
+    dirty |= _l3->clean(block);
+
+    const Tick lookup = privatePathLatency(core) + _l3->latency();
+    if (!dirty) {
+        if (on_ack)
+            _sim.schedule(lookup, std::move(on_ack));
+        return;
+    }
+
+    ++_flushesDirty;
+    WriteRequest req;
+    req.addr = block;
+    req.kind = WriteKind::Data;
+    req.core = core;
+    req.txId = tx;
+    req.data = _tracker.snapshot(block);
+    _sim.schedule(lookup,
+                  [this, req = std::move(req),
+                   on_ack = std::move(on_ack)]() mutable {
+                      queueMcWrite(std::move(req), std::move(on_ack),
+                                   true);
+                  });
+}
+
+void
+CacheHierarchy::sendLogWrite(const WriteRequest &req,
+                             std::function<void()> on_ack)
+{
+    _sim.schedule(uncacheableLatency,
+                  [this, req, on_ack = std::move(on_ack)]() mutable {
+                      queueMcWrite(std::move(req), std::move(on_ack));
+                  });
+}
+
+} // namespace proteus

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The three-level cache hierarchy of Table 1: private L1D and L2 per
+ * core, a shared L3 with a directory for inter-core transfers, and a
+ * bandwidth-limited link to the memory controller.
+ *
+ * The caches are timing-first: tags and LRU state are exact, while the
+ * *values* of dirty lines are carried by the DirtyDataTracker so that a
+ * block's precise contents accompany every write that reaches the
+ * memory controller (that is what makes crash snapshots exact). Tag
+ * state is updated at request time; fill completion is modeled as pure
+ * latency (documented substitution in DESIGN.md).
+ */
+
+#ifndef PROTEUS_CACHE_HIERARCHY_HH
+#define PROTEUS_CACHE_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache_array.hh"
+#include "heap/memory_image.hh"
+#include "memctrl/mem_ctrl.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Tracks the exact byte contents of blocks that have been stored to. */
+class DirtyDataTracker
+{
+  public:
+    explicit DirtyDataTracker(const MemoryImage &nvm) : _nvm(nvm) {}
+
+    /** Apply a store's value (up to 8 bytes, no block crossing). */
+    void applyStore(Addr addr, unsigned size, std::uint64_t value);
+
+    /** @return the current 64B contents of @p block. */
+    std::array<std::uint8_t, blockSize> snapshot(Addr block) const;
+
+  private:
+    std::array<std::uint8_t, blockSize> &entry(Addr block);
+
+    const MemoryImage &_nvm;
+    std::unordered_map<Addr, std::array<std::uint8_t, blockSize>> _blocks;
+};
+
+/** A serializing transfer resource (bus/link) with fixed occupancy. */
+struct Link
+{
+    Tick freeAt = 0;
+
+    /** Reserve the link at or after @p now for @p occupancy cycles;
+     *  @return the transfer start tick. */
+    Tick
+    acquire(Tick now, Tick occupancy)
+    {
+        const Tick start = freeAt > now ? freeAt : now;
+        freeAt = start + occupancy;
+        return start;
+    }
+};
+
+/** The multicore cache hierarchy in front of the memory controller. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(Simulator &sim, const SystemConfig &cfg, MemCtrl &mc,
+                   const MemoryImage &nvm);
+
+    /**
+     * Issue a load. @return false if the core's MSHRs are full (the
+     * caller must retry); otherwise @p on_complete fires when data is
+     * available.
+     */
+    bool load(CoreId core, Addr addr, unsigned size,
+              std::function<void()> on_complete);
+
+    /**
+     * Issue a store (release from the store buffer). The value is
+     * applied to the dirty-data tracker when the line becomes writable;
+     * @p on_complete fires at that point. @return false if MSHRs are
+     * full.
+     */
+    bool store(CoreId core, Addr addr, unsigned size, std::uint64_t value,
+               TxId tx, std::function<void()> on_complete);
+
+    /**
+     * clwb: write the block back to the memory controller if dirty
+     * anywhere in the hierarchy, retaining the line. @p on_ack fires
+     * when the MC accepts the write (or after the lookup if clean).
+     * Retries internally while the WPQ is full.
+     */
+    void flush(CoreId core, Addr block, TxId tx,
+               std::function<void()> on_ack);
+
+    /**
+     * Uncacheable log-flush path straight to the memory controller
+     * (Section 4.2): no write-allocate, no cache pollution. Retries
+     * internally while the target queue is full; @p on_ack fires when
+     * the MC acknowledges receipt.
+     */
+    void sendLogWrite(const WriteRequest &req,
+                      std::function<void()> on_ack);
+
+    DirtyDataTracker &tracker() { return _tracker; }
+
+    /** Dirty L3 evictions created but not yet accepted by the MC.
+     *  Persist barriers must wait for these: a clwb that finds its
+     *  block already evicted acks immediately, so the eviction's
+     *  write-back is the only carrier of that data. */
+    unsigned pendingEvictionWrites() const
+    {
+        return _pendingEvictions;
+    }
+
+    CacheArray &l1(CoreId core) { return *_l1[core]; }
+    CacheArray &l2(CoreId core) { return *_l2[core]; }
+    CacheArray &l3() { return *_l3; }
+
+  private:
+    struct DirEntry
+    {
+        int owner = -1;             ///< core that may hold the line dirty
+        std::uint32_t sharers = 0;
+    };
+
+    struct Mshr
+    {
+        std::vector<std::function<void()>> callbacks;
+    };
+
+    Tick privatePathLatency(CoreId core) const;
+    Tick handleCoherence(CoreId core, Addr block, bool exclusive,
+                         bool &fill_dirty);
+    void fillPath(CoreId core, Addr block, bool exclusive);
+    void finishFill(CoreId core, Addr block, bool exclusive,
+                    bool fill_dirty, Tick latency);
+    void insertWithVictims(CoreId core, Addr block, bool dirty);
+    void handleL3Victim(const CacheArray::Victim &victim);
+    void completeMshr(CoreId core, Addr block);
+    void queueMcWrite(WriteRequest req, std::function<void()> on_ack,
+                      bool refresh_from_tracker = false);
+    void queueMcRead(Addr block, std::function<void()> on_data);
+
+    Simulator &_sim;
+    SystemConfig _cfg;
+    MemCtrl &_mc;
+    DirtyDataTracker _tracker;
+
+    std::vector<std::unique_ptr<CacheArray>> _l1;
+    std::vector<std::unique_ptr<CacheArray>> _l2;
+    std::unique_ptr<CacheArray> _l3;
+
+    std::map<Addr, DirEntry> _directory;
+    std::vector<std::unordered_map<Addr, Mshr>> _mshrs;
+
+    std::vector<Link> _l2l3Links;   ///< per-core private path
+    Link _l3McLink;                 ///< shared, 16B/cycle (Table 1)
+    unsigned _pendingEvictions = 0;
+
+    stats::Scalar _loads;
+    stats::Scalar _stores;
+    stats::Scalar _flushes;
+    stats::Scalar _flushesDirty;
+    stats::Scalar _remoteTransfers;
+    stats::Scalar _mshrRejects;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_CACHE_HIERARCHY_HH

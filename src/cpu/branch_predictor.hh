@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A gshare branch predictor: global history XOR static PC indexing a
+ * table of 2-bit saturating counters. Mispredictions stall fetch until
+ * the branch resolves at execute (trace-driven: no wrong-path fetch).
+ */
+
+#ifndef PROTEUS_CPU_BRANCH_PREDICTOR_HH
+#define PROTEUS_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace proteus {
+
+/** gshare with 2-bit counters. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(unsigned index_bits, stats::StatRegistry &stats,
+                    const std::string &name);
+
+    /** Predict the direction of the branch at @p static_pc. */
+    bool predict(std::uint32_t static_pc) const;
+
+    /** Update counters and history with the resolved outcome. */
+    void update(std::uint32_t static_pc, bool taken, bool predicted);
+
+    double accuracy() const;
+
+  private:
+    std::size_t index(std::uint32_t static_pc) const;
+
+    std::vector<std::uint8_t> _counters;
+    std::uint64_t _history = 0;
+    std::uint64_t _historyMask;
+
+    stats::Scalar _predictions;
+    stats::Scalar _mispredictions;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,135 @@
+#include "experiments.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            opts.scale = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--init-scale") {
+            opts.initScale = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(next());
+        } else if (arg == "--dram") {
+            opts.dram = true;
+        } else if (arg == "--set") {
+            opts.overrides.push_back(next());
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "options:\n"
+                << "  --scale N      divide Table 2 SimOps by N "
+                << "(default 200; 1 = paper size)\n"
+                << "  --init-scale N divide Table 2 InitOps "
+                << "(working-set size; default 1 = paper)\n"
+                << "  --threads N    simulated cores (default 4)\n"
+                << "  --seed N       workload RNG seed\n"
+                << "  --dram         DRAM timing (Section 7.2)\n"
+                << "  --set k=v      config override, e.g. "
+                << "logging.logQEntries=8\n";
+            std::exit(0);
+        } else {
+            fatal("unknown argument: ", arg);
+        }
+    }
+    return opts;
+}
+
+SystemConfig
+BenchOptions::makeConfig() const
+{
+    SystemConfig cfg = dram ? dramConfig() : baselineConfig();
+    cfg.seed = seed;
+    for (const std::string &o : overrides)
+        cfg.applyOverride(o);
+    return cfg;
+}
+
+RunResult
+runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
+              const BenchOptions &opts,
+              const LinkedListOptions &ll_opts)
+{
+    cfg.logging.scheme = scheme;
+    // PMEM+pcommit models the pre-ADR persistency domain.
+    cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
+
+    WorkloadParams params;
+    params.threads = opts.threads;
+    params.scale = opts.scale;
+    params.initScale = opts.initScale;
+    params.seed = opts.seed;
+    params.logAreaBytes = cfg.logging.logAreaBytes;
+
+    FullSystem system(cfg, kind, params, ll_opts);
+    return system.run();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values) {
+        if (v <= 0)
+            panic("geomean of a non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : _columns(std::move(columns))
+{
+}
+
+void
+TablePrinter::printHeader(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < _columns.size(); ++i)
+        os << std::left << std::setw(i == 0 ? 16 : 12) << _columns[i];
+    os << "\n";
+    for (std::size_t i = 0; i < _columns.size(); ++i)
+        os << std::left << std::setw(i == 0 ? 16 : 12)
+           << std::string(std::min<std::size_t>(_columns[i].size(), 11),
+                          '-');
+    os << "\n";
+}
+
+void
+TablePrinter::printRow(std::ostream &os,
+                       const std::vector<std::string> &cells) const
+{
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        os << std::left << std::setw(i == 0 ? 16 : 12) << cells[i];
+    os << "\n";
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace proteus

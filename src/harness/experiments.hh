@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment-harness helpers shared by the bench binaries: running one
+ * (scheme x workload) configuration, speedup/geomean math, and the
+ * fixed-width table printing used to reproduce the paper's figures.
+ */
+
+#ifndef PROTEUS_HARNESS_EXPERIMENTS_HH
+#define PROTEUS_HARNESS_EXPERIMENTS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system.hh"
+
+namespace proteus {
+
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    unsigned scale = 200;       ///< divide Table 2 SimOps
+    unsigned initScale = 1;     ///< divide Table 2 InitOps (footprint)
+    unsigned threads = 4;
+    std::uint64_t seed = 1;
+    bool dram = false;          ///< use the Section 7.2 DRAM config
+    std::vector<std::string> overrides;
+
+    /** Parse argv; recognizes --scale N, --threads N, --seed N,
+     *  --dram, and --set key=value. Exits on --help. */
+    static BenchOptions parse(int argc, char **argv);
+
+    /** Baseline config with the options applied. */
+    SystemConfig makeConfig() const;
+};
+
+/** Run one (scheme, workload) pair to completion. */
+RunResult runExperiment(SystemConfig cfg, LogScheme scheme,
+                        WorkloadKind kind, const BenchOptions &opts,
+                        const LinkedListOptions &ll_opts = {});
+
+/** Geometric mean of @p values (which must be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Fixed-width table printer. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> columns);
+
+    void printHeader(std::ostream &os) const;
+    void printRow(std::ostream &os,
+                  const std::vector<std::string> &cells) const;
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> _columns;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_HARNESS_EXPERIMENTS_HH

@@ -1,0 +1,115 @@
+#include "system.hh"
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
+                       const WorkloadParams &params,
+                       const LinkedListOptions &ll_opts)
+    : _cfg(cfg)
+{
+    if (params.threads > cfg.cores)
+        fatal("FullSystem: workload threads exceed core count");
+    _cfg.cores = params.threads;    // one trace per core
+
+    _sim = std::make_unique<Simulator>();
+    _heap = std::make_unique<PersistentHeap>();
+
+    // Functional phase: populate (InitOps), fast-forward, record.
+    _workload =
+        makeWorkload(kind, *_heap, _cfg.logging.scheme, params, ll_opts);
+    _workload->setup();
+    _heap->syncNvmToVolatile();
+    _workload->generateTraces();
+
+    // Timing phase wiring. Registration order defines intra-cycle
+    // evaluation: memory first, then cores.
+    _mc = std::make_unique<MemCtrl>(*_sim, _cfg, _heap->nvmImage());
+    _caches = std::make_unique<CacheHierarchy>(*_sim, _cfg, *_mc,
+                                               _heap->nvmImage());
+    _locks = std::make_unique<LockManager>(*_sim);
+
+    _sim->addTicked(_mc.get());
+    for (unsigned t = 0; t < params.threads; ++t) {
+        _cores.push_back(std::make_unique<Core>(
+            *_sim, _cfg, static_cast<CoreId>(t), _workload->trace(t),
+            *_caches, *_mc, *_locks));
+        TraceBuilder &tb = _workload->builder(t);
+        _cores.back()->bindLogArea(tb.logAreaStart(), tb.logAreaEnd());
+        if (_cfg.logging.scheme == LogScheme::ATOM) {
+            const Addr area =
+                _heap->allocLogArea(_cfg.logging.logAreaBytes);
+            const Addr end = area + _cfg.logging.logAreaBytes;
+            _mc->bindAtomLogArea(static_cast<CoreId>(t), area, end);
+            _atomAreas.emplace_back(area, end);
+        } else {
+            _atomAreas.emplace_back(invalidAddr, invalidAddr);
+        }
+        _sim->addTicked(_cores.back().get());
+    }
+}
+
+bool
+FullSystem::done() const
+{
+    for (const auto &core : _cores) {
+        if (!core->done())
+            return false;
+    }
+    return true;
+}
+
+RunResult
+FullSystem::snapshotResult() const
+{
+    RunResult r;
+    r.finished = done();
+    r.cycles = _sim->now();
+    r.nvmWrites = _mc->nvmWrites();
+    r.nvmReads = _mc->nvmReads();
+    r.logWritesDropped = _mc->droppedLogWrites();
+    std::uint64_t llt_lookups = 0;
+    std::uint64_t llt_misses = 0;
+    for (const auto &core : _cores) {
+        r.retiredOps += core->retiredOps();
+        r.frontendStallCycles += core->frontendStallCycles();
+        r.committedTxs += core->committedTxs().size();
+        llt_lookups += core->llt().lookups();
+        llt_misses += core->llt().misses();
+    }
+    r.lltMissRate = llt_lookups
+        ? static_cast<double>(llt_misses) / llt_lookups
+        : 0.0;
+    return r;
+}
+
+RunResult
+FullSystem::run(Tick max_cycles)
+{
+    const bool ok = _sim->runUntil([this]() { return done(); },
+                                   max_cycles);
+    RunResult r = snapshotResult();
+    r.finished = ok;
+    if (!ok)
+        warn("FullSystem: simulation hit the cycle limit before the "
+             "traces drained");
+    return r;
+}
+
+void
+FullSystem::runFor(Tick cycles)
+{
+    _sim->run(cycles);
+}
+
+MemoryImage
+FullSystem::crashImage() const
+{
+    MemoryImage image = _heap->nvmImage();
+    if (_cfg.memCtrl.adr)
+        _mc->applyBatteryDrain(image);
+    return image;
+}
+
+} // namespace proteus

@@ -1,0 +1,88 @@
+#include "memory_image.hh"
+
+namespace proteus {
+
+MemoryImage::MemoryImage(const MemoryImage &other)
+{
+    *this = other;
+}
+
+MemoryImage &
+MemoryImage::operator=(const MemoryImage &other)
+{
+    if (this == &other)
+        return *this;
+    _pages.clear();
+    _pages.reserve(other._pages.size());
+    for (const auto &[index, page] : other._pages)
+        _pages.emplace(index, std::make_unique<Page>(*page));
+    return *this;
+}
+
+MemoryImage::Page &
+MemoryImage::touch(Addr page_index)
+{
+    auto it = _pages.find(page_index);
+    if (it == _pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = _pages.emplace(page_index, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::peek(Addr page_index) const
+{
+    auto it = _pages.find(page_index);
+    return it == _pages.end() ? nullptr : it->second.get();
+}
+
+void
+MemoryImage::read(Addr addr, void *out, std::size_t n) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (n > 0) {
+        const Addr page_index = pageBase(addr);
+        const std::size_t off = pageOffset(addr);
+        const std::size_t chunk = std::min(n, pageBytes - off);
+        if (const Page *page = peek(page_index))
+            std::memcpy(dst, page->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        n -= chunk;
+    }
+}
+
+void
+MemoryImage::write(Addr addr, const void *src, std::size_t n)
+{
+    const auto *from = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        const Addr page_index = pageBase(addr);
+        const std::size_t off = pageOffset(addr);
+        const std::size_t chunk = std::min(n, pageBytes - off);
+        std::memcpy(touch(page_index).data() + off, from, chunk);
+        from += chunk;
+        addr += chunk;
+        n -= chunk;
+    }
+}
+
+std::uint64_t
+MemoryImage::read64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+MemoryImage::write64(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+} // namespace proteus

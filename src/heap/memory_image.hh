@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A sparse byte-addressable memory image backing the simulated address
+ * space. Two images exist per system: the volatile image (what the
+ * program sees through the cache hierarchy) and the NVM image (what has
+ * actually persisted). Pages materialize on first touch and read as
+ * zero before that.
+ */
+
+#ifndef PROTEUS_HEAP_MEMORY_IMAGE_HH
+#define PROTEUS_HEAP_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Sparse paged storage for a 64-bit simulated address space. */
+class MemoryImage
+{
+  public:
+    static constexpr unsigned pageBits = 12;
+    static constexpr std::size_t pageBytes = std::size_t{1} << pageBits;
+
+    MemoryImage() = default;
+    MemoryImage(const MemoryImage &other);
+    MemoryImage &operator=(const MemoryImage &other);
+    MemoryImage(MemoryImage &&) = default;
+    MemoryImage &operator=(MemoryImage &&) = default;
+
+    /** Copy @p n bytes at @p addr into @p out (zero for untouched). */
+    void read(Addr addr, void *out, std::size_t n) const;
+
+    /** Write @p n bytes from @p src at @p addr. */
+    void write(Addr addr, const void *src, std::size_t n);
+
+    /** Little-endian fixed-width helpers. */
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+
+    /** @return number of materialized pages (tests, footprint stats). */
+    std::size_t pageCount() const { return _pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { _pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    static Addr pageBase(Addr a) { return a >> pageBits; }
+    static std::size_t pageOffset(Addr a)
+    {
+        return static_cast<std::size_t>(a & (pageBytes - 1));
+    }
+
+    Page &touch(Addr page_index);
+    const Page *peek(Addr page_index) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_HEAP_MEMORY_IMAGE_HH

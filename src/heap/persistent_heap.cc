@@ -1,0 +1,110 @@
+#include "persistent_heap.hh"
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+Addr
+alignUp(Addr a, std::size_t align)
+{
+    const Addr mask = static_cast<Addr>(align) - 1;
+    return (a + mask) & ~mask;
+}
+
+} // namespace
+
+RegionAllocator::RegionAllocator(Addr base, Addr limit)
+    : _base(base), _limit(limit), _next(base)
+{
+    if (limit <= base)
+        panic("RegionAllocator: empty region");
+}
+
+Addr
+RegionAllocator::allocate(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        panic("RegionAllocator: zero-size allocation");
+    if (align == 0 || (align & (align - 1)) != 0)
+        panic("RegionAllocator: alignment must be a power of two");
+
+    auto bin = _freeBins.find(bytes);
+    if (bin != _freeBins.end() && !bin->second.empty()) {
+        // Exact-size reuse keeps node addresses stable across
+        // insert/delete churn, like a slab allocator would.
+        for (std::size_t i = bin->second.size(); i-- > 0;) {
+            Addr candidate = bin->second[i];
+            if ((candidate & (align - 1)) == 0) {
+                bin->second.erase(bin->second.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                _liveBytes += bytes;
+                return candidate;
+            }
+        }
+    }
+
+    Addr addr = alignUp(_next, align);
+    if (addr + bytes > _limit)
+        fatal("RegionAllocator: out of simulated memory (",
+              bytes, " bytes requested)");
+    _next = addr + bytes;
+    _liveBytes += bytes;
+    return addr;
+}
+
+void
+RegionAllocator::release(Addr addr, std::size_t bytes)
+{
+    if (addr < _base || addr + bytes > _next)
+        panic("RegionAllocator: release outside region");
+    _liveBytes -= bytes;
+    _freeBins[bytes].push_back(addr);
+}
+
+PersistentHeap::PersistentHeap()
+    : _volatileAlloc(volatileBase, persistentBase),
+      _persistentAlloc(persistentBase, logBase),
+      _nextLogArea(logBase)
+{
+}
+
+Addr
+PersistentHeap::alloc(std::size_t bytes, std::size_t align)
+{
+    return _persistentAlloc.allocate(bytes, align);
+}
+
+void
+PersistentHeap::free(Addr addr, std::size_t bytes)
+{
+    _persistentAlloc.release(addr, bytes);
+}
+
+Addr
+PersistentHeap::allocVolatile(std::size_t bytes, std::size_t align)
+{
+    return _volatileAlloc.allocate(bytes, align);
+}
+
+Addr
+PersistentHeap::chaseArena()
+{
+    if (_chaseArena == invalidAddr)
+        _chaseArena = _persistentAlloc.allocate(chaseArenaBytes,
+                                                blockSize);
+    return _chaseArena;
+}
+
+Addr
+PersistentHeap::allocLogArea(std::size_t bytes)
+{
+    const Addr addr = alignUp(_nextLogArea, logEntrySize);
+    if (addr + bytes > logLimit)
+        fatal("PersistentHeap: log area region exhausted");
+    _nextLogArea = addr + bytes;
+    return addr;
+}
+
+} // namespace proteus

@@ -1,0 +1,30 @@
+#include "micro_op.hh"
+
+namespace proteus {
+
+const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Nop:         return "nop";
+      case Op::IntAlu:      return "alu";
+      case Op::IntMul:      return "mul";
+      case Op::Load:        return "ld";
+      case Op::Store:       return "st";
+      case Op::Branch:      return "br";
+      case Op::ClWb:        return "clwb";
+      case Op::SFence:      return "sfence";
+      case Op::MFence:      return "mfence";
+      case Op::PCommit:     return "pcommit";
+      case Op::LogLoad:     return "log-load";
+      case Op::LogFlush:    return "log-flush";
+      case Op::TxBegin:     return "tx-begin";
+      case Op::TxEnd:       return "tx-end";
+      case Op::LockAcquire: return "lock";
+      case Op::LockRelease: return "unlock";
+      case Op::LogSave:     return "log-save";
+    }
+    return "?";
+}
+
+} // namespace proteus

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The micro-op ISA executed by the timing cores.
+ *
+ * Traces are pre-decoded sequences of these micro-ops, produced by the
+ * scheme-aware trace codegen (src/trace). The set covers ordinary integer
+ * and memory operations, the Intel PMEM persistence instructions (clwb,
+ * sfence, mfence, pcommit), the durable-transaction markers, the lock
+ * operations used to serialize concurrent transactions, and the two new
+ * Proteus instructions: log-load and log-flush (Section 3.2).
+ */
+
+#ifndef PROTEUS_ISA_MICRO_OP_HH
+#define PROTEUS_ISA_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Operation kinds understood by the out-of-order core. */
+enum class Op : std::uint8_t
+{
+    Nop,
+    IntAlu,      ///< 1-cycle integer operation
+    IntMul,      ///< 3-cycle integer multiply
+    Load,        ///< memory load (up to 8 bytes)
+    Store,       ///< memory store (up to 8 bytes, value in data)
+    Branch,      ///< conditional branch, resolved at execute
+    ClWb,        ///< flush dirty block to the WPQ, line retained
+    SFence,      ///< store fence extended for PMEM (Section 2.1)
+    MFence,      ///< full fence; treated like SFence plus load ordering
+    PCommit,     ///< drain the WPQ to NVMM (deprecated; PMEM+pcommit only)
+    LogLoad,     ///< Proteus: load 32B granule into a log register
+    LogFlush,    ///< Proteus: flush log register to the log area
+    TxBegin,     ///< durable transaction start (txId in data)
+    TxEnd,       ///< durable transaction end: durability point
+    LockAcquire, ///< timing-level lock acquire on addr
+    LockRelease, ///< timing-level lock release on addr
+    LogSave,     ///< context switch support: save tx state, drain LPQ
+};
+
+/** @return a printable mnemonic. */
+const char *toString(Op op);
+
+/** Sentinel register index: "no register". */
+constexpr std::int16_t noReg = -1;
+
+/** Sentinel payload index: "no log payload attached". */
+constexpr std::uint32_t noPayload = 0xffffffffu;
+
+/** Number of architectural (logical) integer registers in traces. */
+constexpr unsigned numArchRegs = 32;
+
+/**
+ * One pre-decoded micro-op.
+ *
+ * Stores carry their value so the persistence tracker can reconstruct the
+ * exact NVM image when a write becomes durable; log-flushes reference a
+ * 40-byte payload captured at codegen time (Trace::logPayload).
+ */
+struct MicroOp
+{
+    Op op = Op::Nop;
+    std::int16_t src0 = noReg;
+    std::int16_t src1 = noReg;
+    std::int16_t dst = noReg;
+    std::uint8_t size = 0;          ///< memory access size in bytes
+    bool taken = false;             ///< branch outcome (trace = taken path)
+    bool persistent = false;        ///< store targets the persistent heap
+    std::uint32_t staticPc = 0;     ///< static code location (predictor)
+    std::uint32_t payload = noPayload;
+    Addr addr = invalidAddr;
+    std::uint64_t data = 0;         ///< store value / txId for TxBegin
+
+    bool isLoad() const { return op == Op::Load; }
+    bool isStore() const { return op == Op::Store; }
+    bool
+    isMem() const
+    {
+        return op == Op::Load || op == Op::Store || op == Op::LogLoad ||
+               op == Op::LogFlush || op == Op::ClWb ||
+               op == Op::LockAcquire || op == Op::LockRelease;
+    }
+    bool
+    isFence() const
+    {
+        return op == Op::SFence || op == Op::MFence || op == Op::PCommit;
+    }
+};
+
+/**
+ * A 40-byte Proteus log entry as held in a log register: 32 bytes of
+ * original data plus the log-from address (Section 3.2). The transaction
+ * id completes the metadata written to the log area (Section 4.3).
+ */
+struct LogPayload
+{
+    std::uint8_t bytes[logDataSize] = {};
+    Addr fromAddr = invalidAddr;
+    TxId txId = 0;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_ISA_MICRO_OP_HH

@@ -1,0 +1,15 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+namespace proteus {
+
+std::size_t
+Trace::countOps(Op kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(_ops.begin(), _ops.end(),
+                      [kind](const MicroOp &m) { return m.op == kind; }));
+}
+
+} // namespace proteus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A per-thread instruction trace: the unit of work a timing core executes.
+ */
+
+#ifndef PROTEUS_ISA_TRACE_HH
+#define PROTEUS_ISA_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "micro_op.hh"
+
+namespace proteus {
+
+/** A pre-decoded per-thread micro-op stream plus its log payload table. */
+class Trace
+{
+  public:
+    /** Append a micro-op; @return its index. */
+    std::size_t
+    push(const MicroOp &op)
+    {
+        _ops.push_back(op);
+        return _ops.size() - 1;
+    }
+
+    /** Register a log payload; @return its index for MicroOp::payload. */
+    std::uint32_t
+    addPayload(const LogPayload &payload)
+    {
+        _payloads.push_back(payload);
+        return static_cast<std::uint32_t>(_payloads.size() - 1);
+    }
+
+    const MicroOp &op(std::size_t i) const { return _ops[i]; }
+    MicroOp &op(std::size_t i) { return _ops[i]; }
+    const LogPayload &logPayload(std::uint32_t i) const
+    {
+        return _payloads[i];
+    }
+
+    std::size_t size() const { return _ops.size(); }
+    bool empty() const { return _ops.empty(); }
+
+    /** Count micro-ops of one kind (used by tests and stats). */
+    std::size_t countOps(Op kind) const;
+
+  private:
+    std::vector<MicroOp> _ops;
+    std::vector<LogPayload> _payloads;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_ISA_TRACE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The core-side LogQ (Section 4.2).
+ *
+ * One entry tracks each in-flight log-flush: the log-from address, the
+ * log-to address (assigned in program order so recovery can trust entry
+ * order), and the 64B record to be flushed. Entries are deallocated when
+ * the memory controller acknowledges receipt. The LogQ also answers the
+ * ordering query that keeps a store in the store buffer until the log
+ * entry covering its address is durable.
+ */
+
+#ifndef PROTEUS_LOGGING_LOG_QUEUE_HH
+#define PROTEUS_LOGGING_LOG_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "log_record.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Bookkeeping for concurrent, out-of-order log flushes. */
+class LogQueue
+{
+  public:
+    using EntryId = std::uint32_t;
+    static constexpr EntryId invalidEntry = 0xffffffffu;
+
+    LogQueue(unsigned entries, stats::StatRegistry &stats,
+             const std::string &name);
+
+    bool full() const { return _freeList.empty(); }
+    unsigned occupancy() const
+    {
+        return _capacity - static_cast<unsigned>(_freeList.size());
+    }
+    unsigned capacity() const { return _capacity; }
+
+    /**
+     * Allocate an entry at log-flush dispatch. @p seq is the global
+     * program-order sequence of the log-flush; @p log_to was assigned in
+     * program order by the tx context.
+     */
+    EntryId allocate(std::uint64_t seq, Addr from_granule, Addr log_to,
+                     const LogRecord &record);
+
+    /** MC acknowledged receipt; entry is recycled. */
+    void deallocate(EntryId id);
+
+    /**
+     * @return true if any live entry older than @p seq covers the 32B
+     * granule of @p addr — the store must stay in the store buffer
+     * (Section 4.2). Also true for the store's own log entry.
+     */
+    bool pendingOlderFor(Addr addr, std::uint64_t seq) const;
+
+    /** @return true if no live entries belong to transaction @p tx. */
+    bool emptyForTx(TxId tx) const;
+
+    bool empty() const { return occupancy() == 0; }
+
+    /** Access a live entry (panics if the slot is free). */
+    const LogRecord &record(EntryId id) const;
+    Addr logTo(EntryId id) const;
+
+    /** Peak-occupancy stat for the Figure 11 sweep analysis. */
+    double peakOccupancy() const { return _peak.value(); }
+
+  private:
+    struct Entry
+    {
+        bool live = false;
+        std::uint64_t seq = 0;
+        Addr fromGranule = invalidAddr;
+        Addr logTo = invalidAddr;
+        LogRecord record;
+    };
+
+    const Entry &liveEntry(EntryId id) const;
+
+    unsigned _capacity;
+    std::vector<Entry> _entries;
+    std::vector<EntryId> _freeList;
+
+    stats::Scalar _allocations;
+    stats::Scalar _peak;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_LOGGING_LOG_QUEUE_HH

@@ -1,0 +1,54 @@
+#include "log_record.hh"
+
+namespace proteus {
+
+namespace {
+
+template <typename T>
+void
+put(std::uint8_t *dst, std::size_t &off, const T &v)
+{
+    std::memcpy(dst + off, &v, sizeof(T));
+    off += sizeof(T);
+}
+
+template <typename T>
+void
+get(const std::uint8_t *src, std::size_t &off, T &v)
+{
+    std::memcpy(&v, src + off, sizeof(T));
+    off += sizeof(T);
+}
+
+} // namespace
+
+std::array<std::uint8_t, logEntrySize>
+LogRecord::toBytes() const
+{
+    std::array<std::uint8_t, logEntrySize> out{};
+    std::size_t off = 0;
+    std::memcpy(out.data(), data.data(), logDataSize);
+    off = logDataSize;
+    put(out.data(), off, fromAddr);
+    put(out.data(), off, txId);
+    put(out.data(), off, seq);
+    put(out.data(), off, flags);
+    put(out.data(), off, magic);
+    return out;
+}
+
+LogRecord
+LogRecord::fromBytes(const std::uint8_t *bytes)
+{
+    LogRecord rec;
+    std::memcpy(rec.data.data(), bytes, logDataSize);
+    std::size_t off = logDataSize;
+    get(bytes, off, rec.fromAddr);
+    get(bytes, off, rec.txId);
+    get(bytes, off, rec.seq);
+    get(bytes, off, rec.flags);
+    get(bytes, off, rec.magic);
+    return rec;
+}
+
+} // namespace proteus

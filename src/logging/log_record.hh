@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The on-NVM undo log entry format (Section 4.1).
+ *
+ * One entry occupies exactly one cache block (64B): 32 bytes of original
+ * data plus metadata — the log-from address, the transaction id, a
+ * program-order sequence number (recovery must use the *earliest* entry
+ * per address, Section 4.2), and flags. The same format is used by the
+ * software (PMEM) codegen, by ATOM, and by Proteus so that one recovery
+ * implementation can parse all three.
+ */
+
+#ifndef PROTEUS_LOGGING_LOG_RECORD_HH
+#define PROTEUS_LOGGING_LOG_RECORD_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** A fully materialized 64-byte undo log entry. */
+struct LogRecord
+{
+    static constexpr std::uint32_t magicValue = 0x50524f54; // "PROT"
+
+    /** Entry flags. */
+    enum Flags : std::uint32_t
+    {
+        flagValid = 1u << 0,    ///< entry contains a live log
+        flagTxEnd = 1u << 1,    ///< last entry of a committed transaction
+    };
+
+    std::array<std::uint8_t, logDataSize> data{};
+    Addr fromAddr = invalidAddr;
+    TxId txId = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t magic = 0;
+
+    bool valid() const
+    {
+        return magic == magicValue && (flags & flagValid);
+    }
+    bool committed() const { return flags & flagTxEnd; }
+
+    /** Serialize into a 64-byte block image. */
+    std::array<std::uint8_t, logEntrySize> toBytes() const;
+
+    /** Parse from a 64-byte block image. */
+    static LogRecord fromBytes(const std::uint8_t *bytes);
+};
+
+static_assert(logEntrySize ==
+              logDataSize + sizeof(Addr) + sizeof(TxId) +
+              sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t),
+              "LogRecord must pack into one cache block");
+
+} // namespace proteus
+
+#endif // PROTEUS_LOGGING_LOG_RECORD_HH

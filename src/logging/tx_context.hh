@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-core transaction registers (Figure 5): log-start, log-end, curlog,
+ * and txID, plus the log-to address assignment that must happen in
+ * program order (Section 4.2). The log area is a circular buffer; if one
+ * transaction needs more entries than the area holds, the processor
+ * raises an exception (Section 4.1) — modeled as a FatalError.
+ */
+
+#ifndef PROTEUS_LOGGING_TX_CONTEXT_HH
+#define PROTEUS_LOGGING_TX_CONTEXT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** The architectural logging registers of one hardware thread. */
+class TxContext
+{
+  public:
+    /** Bind the software-allocated circular log area (VA logging). */
+    void bindLogArea(Addr start, Addr end);
+
+    /** tx-begin: set the live transaction id. */
+    void beginTx(TxId tx);
+
+    /** tx-end: clear the live transaction id. */
+    void endTx();
+
+    bool inTx() const { return _txId != 0; }
+    TxId txId() const { return _txId; }
+    Addr logStart() const { return _logStart; }
+    Addr logEnd() const { return _logEnd; }
+    Addr curlog() const { return _curlog; }
+
+    /**
+     * Assign the next log-to address (auto-increment addressing mode of
+     * Figure 4), wrapping circularly; throws FatalError if the current
+     * transaction overflows the whole area.
+     */
+    Addr nextLogTo();
+
+    /** Program-order sequence within the current transaction. */
+    std::uint64_t nextSeq() { return _seqInTx++; }
+
+    /** Context-switch support: capture / restore all registers. */
+    struct Saved
+    {
+        Addr logStart, logEnd, curlog;
+        TxId txId;
+        std::uint64_t seqInTx, entriesThisTx;
+    };
+    Saved save() const;
+    void restore(const Saved &s);
+
+  private:
+    Addr _logStart = invalidAddr;
+    Addr _logEnd = invalidAddr;
+    Addr _curlog = invalidAddr;
+    TxId _txId = 0;
+    std::uint64_t _seqInTx = 0;
+    std::uint64_t _entriesThisTx = 0;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_LOGGING_TX_CONTEXT_HH

@@ -1,0 +1,703 @@
+#include "mem_ctrl.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+/** Arbiter scan depth: full-window FR-FCFS. */
+constexpr std::size_t scanLimit = 64;
+/** Latency of serving a read from a matching WPQ entry. */
+constexpr Tick wpqForwardLatency = 8;
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+/** Age after which a queued write drains regardless of pressure. */
+constexpr Tick agedWriteTicks = 4000;
+
+} // namespace
+
+MemCtrl::MemCtrl(Simulator &sim, const SystemConfig &cfg, MemoryImage &nvm)
+    : _sim(sim), _cfg(cfg), _nvm(nvm),
+      _dram(cfg.mem, sim.statsRegistry(), "mc.dram"),
+      _readsAccepted(sim.statsRegistry(), "mc.readsAccepted",
+                     "reads accepted"),
+      _writesAccepted(sim.statsRegistry(), "mc.writesAccepted",
+                      "regular writes accepted into the WPQ"),
+      _logWritesAccepted(sim.statsRegistry(), "mc.logWritesAccepted",
+                         "log writes accepted (LPQ or ATOM)"),
+      _wpqForwards(sim.statsRegistry(), "mc.wpqForwards",
+                   "reads served from the WPQ"),
+      _writesCombined(sim.statsRegistry(), "mc.writesCombined",
+                      "writes absorbed by a queued WPQ entry"),
+      _logWritesDropped(sim.statsRegistry(), "mc.logWritesDropped",
+                        "LPQ entries flash-cleared at tx-end"),
+      _markerWrites(sim.statsRegistry(), "mc.markerWrites",
+                    "tx-end marker updates written to NVM"),
+      _markersDropped(sim.statsRegistry(), "mc.markersDropped",
+                      "held markers discarded by a successor tx"),
+      _spilledLogWrites(sim.statsRegistry(), "mc.spilledLogWrites",
+                        "log entries written to NVM before tx-end"),
+      _atomInvalidationWrites(sim.statsRegistry(),
+                              "mc.atomInvalidationWrites",
+                              "ATOM truncation invalidation writes"),
+      _atomSearchReads(sim.statsRegistry(), "mc.atomSearchReads",
+                       "ATOM log-area search reads beyond HW resources"),
+      _atomLogRejects(sim.statsRegistry(), "mc.atomLogRejects",
+                      "ATOM log entries rejected by a full WPQ"),
+      _wpqOccupancy(sim.statsRegistry(), "mc.wpqOccupancy",
+                    "WPQ entries sampled per cycle"),
+      _lpqOccupancy(sim.statsRegistry(), "mc.lpqOccupancy",
+                    "LPQ entries sampled per cycle"),
+      _inflightSample(sim.statsRegistry(), "mc.inflightWrites",
+                      "in-flight array writes sampled per cycle"),
+      _writeAttempts(sim.statsRegistry(), "mc.writeAttempts",
+                     "cycles the arbiter tried to issue a write"),
+      _writeNoCandidate(sim.statsRegistry(), "mc.writeNoCandidate",
+                        "write attempts with no bank-ready candidate")
+{
+    const LogScheme scheme = cfg.logging.scheme;
+    _useLpq = scheme == LogScheme::Proteus ||
+              scheme == LogScheme::ProteusNoLWR;
+    _logWriteRemoval = scheme == LogScheme::Proteus;
+}
+
+bool
+MemCtrl::canAcceptRead() const
+{
+    return _readQ.size() + _inflightReads < _cfg.memCtrl.readQueueEntries;
+}
+
+void
+MemCtrl::read(Addr addr, std::function<void()> on_complete)
+{
+    if (!canAcceptRead())
+        panic("MemCtrl::read on full read queue");
+    ++_readsAccepted;
+    const Addr block = blockAlign(addr);
+
+    // Forward from the WPQ; the LPQ is deliberately *not* checked
+    // (Section 4.3: logs are never read outside recovery).
+    for (const QueuedWrite &w : _wpq) {
+        if (w.req.addr == block) {
+            ++_wpqForwards;
+            _sim.schedule(wpqForwardLatency, std::move(on_complete));
+            return;
+        }
+    }
+    _readQ.push_back(PendingRead{block, std::move(on_complete)});
+}
+
+bool
+MemCtrl::canAcceptWrite(WriteKind kind) const
+{
+    if (kind == WriteKind::Log && _useLpq)
+        return _lpq.size() + _inflightLogs < _cfg.memCtrl.lpqEntries;
+    return _wpq.size() + _inflightWrites < _cfg.memCtrl.wpqEntries;
+}
+
+void
+MemCtrl::write(const WriteRequest &req)
+{
+    if (!canAcceptWrite(req.kind))
+        panic("MemCtrl::write on full queue");
+    if (req.addr != blockAlign(req.addr))
+        panic("MemCtrl::write with unaligned address");
+
+    QueuedWrite qw;
+    qw.req = req;
+    qw.seq = _acceptSeq++;
+    qw.acceptedAt = _sim.now();
+
+    if (req.kind == WriteKind::Log || req.kind == WriteKind::AtomLog) {
+        ++_logWritesAccepted;
+        const LogRecord rec = LogRecord::fromBytes(req.data.data());
+        recordLogDurable(req.core, req.txId, logAlign(rec.fromAddr));
+        if (req.kind == WriteKind::Log) {
+            noteLogArrival(req.core, req.txId);
+            _lastLog[req.core] = {req.txId, req.addr};
+        }
+    } else {
+        ++_writesAccepted;
+    }
+
+    if (req.kind == WriteKind::Log && _useLpq) {
+        _lpq.push_back(std::move(qw));
+        return;
+    }
+
+    // Write combining: a WPQ entry to the same block absorbs the new
+    // data (standard ADR write-pending-queue behavior). This also makes
+    // ATOM truncation naturally ordered: invalidating an entry that is
+    // still queued simply overwrites it in place.
+    for (QueuedWrite &w : _wpq) {
+        if (w.req.addr == req.addr) {
+            ++_writesCombined;
+            if (w.req.kind == WriteKind::AtomLog &&
+                req.kind != WriteKind::AtomLog) {
+                --_atomLogsQueued;
+            } else if (w.req.kind != WriteKind::AtomLog &&
+                       req.kind == WriteKind::AtomLog) {
+                ++_atomLogsQueued;
+            }
+            w.req.data = req.data;
+            w.req.kind = req.kind;
+            w.req.core = req.core;
+            w.req.txId = req.txId;
+            return;
+        }
+    }
+    if (req.kind == WriteKind::AtomLog)
+        ++_atomLogsQueued;
+    _wpq.push_back(std::move(qw));
+}
+
+void
+MemCtrl::noteLogArrival(CoreId core, TxId tx)
+{
+    // A held tx-end marker is discarded once a log entry from the next
+    // transaction of the same thread arrives (Section 4.3).
+    for (auto it = _lpq.begin(); it != _lpq.end(); ++it) {
+        if (it->marker && it->req.core == core && it->req.txId != tx) {
+            ++_markersDropped;
+            _lpq.erase(it);
+            break;
+        }
+    }
+}
+
+void
+MemCtrl::recordLogDurable(CoreId core, TxId tx, Addr granule)
+{
+    _durableLogs[{core, tx}].insert(granule);
+}
+
+bool
+MemCtrl::logGranuleDurable(CoreId core, TxId tx, Addr granule) const
+{
+    auto it = _durableLogs.find({core, tx});
+    return it != _durableLogs.end() &&
+           it->second.count(logAlign(granule)) > 0;
+}
+
+void
+MemCtrl::txEnd(CoreId core, TxId tx)
+{
+    _durableLogs.erase({core, tx});
+    if (!_useLpq)
+        return;
+
+    // Find this transaction's LPQ-resident entries; all but the latest
+    // are flash-cleared, the latest becomes the held tx-end marker.
+    std::size_t latest = npos;
+    std::uint64_t latest_seq = 0;
+    for (std::size_t i = 0; i < _lpq.size(); ++i) {
+        const QueuedWrite &w = _lpq[i];
+        if (w.req.core != core || w.req.txId != tx || w.marker)
+            continue;
+        const LogRecord rec = LogRecord::fromBytes(w.req.data.data());
+        if (latest == npos || rec.seq >= latest_seq) {
+            latest = i;
+            latest_seq = rec.seq;
+        }
+    }
+
+    if (latest != npos) {
+        LogRecord rec =
+            LogRecord::fromBytes(_lpq[latest].req.data.data());
+        rec.flags |= LogRecord::flagTxEnd;
+        const auto bytes = rec.toBytes();
+        std::copy(bytes.begin(), bytes.end(),
+                  _lpq[latest].req.data.begin());
+        _lpq[latest].marker = true;
+
+        if (_logWriteRemoval) {
+            std::deque<QueuedWrite> kept;
+            for (std::size_t i = 0; i < _lpq.size(); ++i) {
+                const QueuedWrite &w = _lpq[i];
+                if (i != latest && w.req.core == core &&
+                    w.req.txId == tx && !w.marker) {
+                    ++_logWritesDropped;
+                } else {
+                    kept.push_back(_lpq[i]);
+                }
+            }
+            _lpq.swap(kept);
+        }
+        return;
+    }
+
+    // Every entry already spilled to NVM: update the last entry's
+    // metadata in place so recovery can see the transaction committed.
+    auto last = _lastLog.find(core);
+    if (last != _lastLog.end() && last->second.first == tx) {
+        std::array<std::uint8_t, logEntrySize> bytes{};
+        _nvm.read(last->second.second, bytes.data(), bytes.size());
+        LogRecord rec = LogRecord::fromBytes(bytes.data());
+        rec.flags |= LogRecord::flagTxEnd;
+
+        if (canAcceptWrite(WriteKind::Log)) {
+            WriteRequest req;
+            req.addr = last->second.second;
+            req.kind = WriteKind::Log;
+            req.core = core;
+            req.txId = tx;
+            req.data = rec.toBytes();
+            QueuedWrite qw;
+            qw.req = req;
+            qw.seq = _acceptSeq++;
+            qw.marker = true;
+            ++_markerWrites;
+            _lpq.push_back(std::move(qw));
+        } else {
+            // Extremely rare; apply directly and charge a write.
+            ++_markerWrites;
+            const auto out = rec.toBytes();
+            _nvm.write(last->second.second, out.data(), out.size());
+        }
+    }
+}
+
+void
+MemCtrl::bindAtomLogArea(CoreId core, Addr start, Addr end)
+{
+    if (end <= start + logEntrySize)
+        fatal("MemCtrl: ATOM log area too small");
+    _atomLogArea[core] = {start, end};
+    _atomLogNext[core] = start + logEntrySize;  // block 0: commit record
+}
+
+bool
+MemCtrl::atomTxCommit(CoreId core, TxId tx)
+{
+    if (!canAcceptWrite(WriteKind::Data))
+        return false;
+    auto area = _atomLogArea.find(core);
+    if (area == _atomLogArea.end())
+        panic("MemCtrl::atomTxCommit without a bound log area");
+    WriteRequest req;
+    req.addr = area->second.first;
+    req.kind = WriteKind::Data;
+    req.core = core;
+    req.txId = tx;
+    req.data.fill(0);
+    std::memcpy(req.data.data(), &tx, sizeof(tx));
+    write(req);
+    return true;
+}
+
+bool
+MemCtrl::atomLog(CoreId core, TxId tx, const LogRecord &record)
+{
+    if (!canAcceptWrite(WriteKind::AtomLog)) {
+        ++_atomLogRejects;
+        return false;
+    }
+    auto area = _atomLogArea.find(core);
+    if (area == _atomLogArea.end())
+        panic("MemCtrl::atomLog without a bound log area");
+
+    Addr &next = _atomLogNext[core];
+    const Addr slot = next;
+    next += logEntrySize;
+    if (next >= area->second.second)
+        next = area->second.first + logEntrySize;
+
+    WriteRequest req;
+    req.addr = slot;
+    req.kind = WriteKind::AtomLog;
+    req.core = core;
+    req.txId = tx;
+    req.data = record.toBytes();
+    write(req);
+
+    _atomTx[{core, tx}].entries.push_back(slot);
+    return true;
+}
+
+void
+MemCtrl::atomTxEnd(CoreId core, TxId tx, std::function<void()> on_done)
+{
+    _durableLogs.erase({core, tx});
+    auto it = _atomTx.find({core, tx});
+    if (it == _atomTx.end() || it->second.entries.empty()) {
+        _atomTx.erase({core, tx});
+        if (on_done)
+            _sim.schedule(1, std::move(on_done));
+        return;
+    }
+
+    // Hardware-tracked entries are cleared in the MC's SRAM and covered
+    // by the durable commit record -- no NVM writes needed. Only entries
+    // beyond the tracking resources must be searched for and manually
+    // invalidated one by one (Section 4.3).
+    const auto &entries = it->second.entries;
+    const std::size_t tracked = std::min<std::size_t>(
+        entries.size(), _cfg.logging.atomTruncationEntries);
+    if (tracked == entries.size()) {
+        _atomTx.erase({core, tx});
+        if (on_done)
+            _sim.schedule(1, std::move(on_done));
+        return;
+    }
+    AtomTruncation job;
+    job.core = core;
+    job.tx = tx;
+    job.onDone = std::move(on_done);
+    // Addresses the hardware must rediscover by scanning the log area.
+    job.searchAddrs.assign(entries.begin() +
+                               static_cast<std::ptrdiff_t>(tracked),
+                           entries.end());
+    _atomTx.erase({core, tx});
+    _atomTruncations.push_back(std::move(job));
+}
+
+void
+MemCtrl::pumpAtomTruncation()
+{
+    if (_atomTruncations.empty())
+        return;
+    AtomTruncation &job = _atomTruncations.front();
+
+    // Convert searches (log-area scans) into reads; each completed read
+    // yields one more invalidation target.
+    while (!job.searchAddrs.empty() && canAcceptRead()) {
+        const Addr addr = job.searchAddrs.back();
+        job.searchAddrs.pop_back();
+        ++job.pendingSearchReads;
+        ++_atomSearchReads;
+        AtomTruncation *jobp = &job;
+        read(addr, [this, jobp, addr]() {
+            --jobp->pendingSearchReads;
+            jobp->invalidations.push_back(addr);
+        });
+    }
+
+    // Issue invalidation writes, rate-limited so background truncation
+    // never starves the cores' own writes: at most two per cycle, and
+    // only while the WPQ has headroom. Entries still queued in the WPQ
+    // are overwritten in place by write combining; an entry mid-write
+    // to the array forces a short wait.
+    unsigned issued = 0;
+    while (!job.invalidations.empty() && issued < 2 &&
+           canAcceptWrite(WriteKind::Data) &&
+           _wpq.size() + _inflightWrites <
+               (3 * _cfg.memCtrl.wpqEntries) / 4) {
+        const Addr addr = job.invalidations.back();
+        if (_inflightWriteAddrs.count(addr) > 0)
+            break;
+        ++issued;
+        job.invalidations.pop_back();
+        ++_atomInvalidationWrites;
+        WriteRequest req;
+        req.addr = addr;
+        req.kind = WriteKind::Data;
+        req.core = job.core;
+        req.txId = job.tx;
+        req.data.fill(0);   // an all-zero block is an invalid record
+        write(req);
+    }
+
+    if (job.searchAddrs.empty() && job.pendingSearchReads == 0 &&
+        job.invalidations.empty()) {
+        if (job.onDone)
+            job.onDone();
+        _atomTruncations.pop_front();
+    }
+}
+
+void
+MemCtrl::drain(std::function<void()> on_drained)
+{
+    // pcommit semantics: only writes accepted before this point must
+    // reach NVM; later arrivals are not waited for.
+    _drainWaiters.emplace_back(_acceptSeq, std::move(on_drained));
+}
+
+std::uint64_t
+MemCtrl::oldestPendingSeq() const
+{
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (const QueuedWrite &w : _wpq)
+        oldest = std::min(oldest, w.seq);
+    for (const QueuedWrite &w : _lpq)
+        oldest = std::min(oldest, w.seq);
+    if (!_inflightSeqs.empty())
+        oldest = std::min(oldest, *_inflightSeqs.begin());
+    return oldest;
+}
+
+void
+MemCtrl::flushCoreLogs(CoreId core, std::function<void()> on_done)
+{
+    for (QueuedWrite &w : _lpq) {
+        if (w.req.core == core)
+            w.forced = true;
+    }
+    _coreFlushWaiters[core] = std::move(on_done);
+}
+
+bool
+MemCtrl::empty() const
+{
+    return _readQ.empty() && _wpq.empty() && _lpq.empty() &&
+           _inflightReads == 0 && _inflightWrites == 0 &&
+           _inflightLogs == 0 && _atomTruncations.empty();
+}
+
+void
+MemCtrl::applyBatteryDrain(MemoryImage &image) const
+{
+    // Everything the battery preserves, in acceptance order: writes
+    // mid-flight to the array plus both pending queues.
+    std::map<std::uint64_t,
+             std::pair<Addr, const std::array<std::uint8_t,
+                                              blockSize> *>>
+        all;
+    for (const auto &[seq, entry] : _inflightData)
+        all.emplace(seq, std::make_pair(entry.first, &entry.second));
+    for (const QueuedWrite &w : _wpq)
+        all.emplace(w.seq, std::make_pair(w.req.addr, &w.req.data));
+    for (const QueuedWrite &w : _lpq)
+        all.emplace(w.seq, std::make_pair(w.req.addr, &w.req.data));
+    for (const auto &[seq, entry] : all)
+        image.write(entry.first, entry.second->data(), blockSize);
+}
+
+std::size_t
+MemCtrl::pickWriteCandidate(const std::deque<QueuedWrite> &queue,
+                            Tick now, bool skip_markers) const
+{
+    std::size_t fallback = npos;
+    const std::size_t depth = std::min(queue.size(), scanLimit);
+    // First preference: forced entries (context switch flushes).
+    for (std::size_t i = 0; i < depth; ++i) {
+        const QueuedWrite &w = queue[i];
+        if (w.forced && _dram.bankReady(w.req.addr, now))
+            return i;
+    }
+    // Row-conflict writes commit a bank to a long NVM activate that
+    // pending reads then wait behind; defer them until the queue is
+    // under real pressure (conflict-averse write drain).
+    const bool allow_conflicts =
+        !_drainWaiters.empty() ||
+        (!queue.empty() &&
+         now > queue.front().acceptedAt + agedWriteTicks) ||
+        queue.size() + _inflightWrites + _inflightLogs >=
+            (3 * _cfg.memCtrl.wpqEntries) / 4;
+    for (std::size_t i = 0; i < depth; ++i) {
+        const QueuedWrite &w = queue[i];
+        if (skip_markers && w.marker)
+            continue;
+        if (!_dram.bankReady(w.req.addr, now))
+            continue;
+        if (_dram.rowHit(w.req.addr))
+            return i;
+        if (fallback == npos)
+            fallback = i;
+    }
+    return allow_conflicts ? fallback : npos;
+}
+
+void
+MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
+                         Tick now)
+{
+    QueuedWrite w = queue[idx];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    const bool is_log_queue = (&queue == &_lpq);
+    if (!is_log_queue && w.req.kind == WriteKind::AtomLog)
+        --_atomLogsQueued;
+    if (is_log_queue) {
+        ++_inflightLogs;
+        if (_logWriteRemoval && !w.marker)
+            ++_spilledLogWrites;
+    } else {
+        ++_inflightWrites;
+    }
+    _inflightWriteAddrs.insert(w.req.addr);
+    _inflightSeqs.insert(w.seq);
+    _inflightData.emplace(w.seq,
+                          std::make_pair(w.req.addr, w.req.data));
+
+    const Tick done = _dram.issue(w.req.addr, true, now);
+    _sim.events().schedule(done, [this, w, is_log_queue]() {
+        _nvm.write(w.req.addr, w.req.data.data(), w.req.data.size());
+        auto it = _inflightWriteAddrs.find(w.req.addr);
+        if (it != _inflightWriteAddrs.end())
+            _inflightWriteAddrs.erase(it);
+        _inflightSeqs.erase(w.seq);
+        _inflightData.erase(w.seq);
+        if (is_log_queue)
+            --_inflightLogs;
+        else
+            --_inflightWrites;
+    });
+}
+
+bool
+MemCtrl::tryIssueRead(Tick now)
+{
+    if (_readQ.empty())
+        return false;
+    std::size_t pick = npos;
+    const std::size_t depth = std::min(_readQ.size(), scanLimit);
+    for (std::size_t i = 0; i < depth; ++i) {
+        if (!_dram.bankReady(_readQ[i].addr, now))
+            continue;
+        if (_dram.rowHit(_readQ[i].addr)) {
+            pick = i;
+            break;
+        }
+        if (pick == npos)
+            pick = i;
+    }
+    if (pick == npos)
+        return false;
+
+    PendingRead r = std::move(_readQ[pick]);
+    _readQ.erase(_readQ.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++_inflightReads;
+    const Tick done = _dram.issue(r.addr, false, now);
+    auto cb = std::move(r.onComplete);
+    _sim.events().schedule(done, [this, cb = std::move(cb)]() {
+        --_inflightReads;
+        if (cb)
+            cb();
+    });
+    return true;
+}
+
+bool
+MemCtrl::tryIssueWrite(Tick now)
+{
+    if (_wpq.empty())
+        return false;
+    // ATOM posted-log entries drain eagerly: the MC writes them to the
+    // log area promptly so the locked lines can be released.
+    // Age pressure: the WPQ is not long-term storage; entries older
+    // than a few microseconds drain even without occupancy pressure.
+    const bool aged =
+        !_wpq.empty() && now > _wpq.front().acceptedAt + agedWriteTicks;
+    const bool pressured =
+        !_drainWaiters.empty() || _atomLogsQueued > 0 || aged ||
+        _wpq.size() >=
+            static_cast<std::size_t>(_cfg.memCtrl.wpqDrainThreshold *
+                                     _cfg.memCtrl.wpqEntries);
+    const bool opportunistic = _readQ.empty();
+    if (!pressured && !opportunistic)
+        return false;
+
+    ++_writeAttempts;
+    const std::size_t pick = pickWriteCandidate(_wpq, now, false);
+    if (pick == npos) {
+        ++_writeNoCandidate;
+        return false;
+    }
+    issueWriteEntry(_wpq, pick, now);
+    return true;
+}
+
+bool
+MemCtrl::tryIssueLog(Tick now)
+{
+    if (_lpq.empty())
+        return false;
+
+    bool forced = false;
+    for (const QueuedWrite &w : _lpq) {
+        if (w.forced) {
+            forced = true;
+            break;
+        }
+    }
+
+    const double threshold = _logWriteRemoval
+        ? _cfg.memCtrl.lpqDrainThreshold
+        : _cfg.memCtrl.wpqDrainThreshold;
+    const bool pressured =
+        !_drainWaiters.empty() || forced ||
+        _lpq.size() >= static_cast<std::size_t>(
+                           threshold * _cfg.memCtrl.lpqEntries);
+    // Without log write removal there is no reason to hold entries:
+    // drain opportunistically like a regular write queue.
+    const bool opportunistic =
+        !_logWriteRemoval && _readQ.empty() && _wpq.empty();
+    if (!pressured && !opportunistic)
+        return false;
+
+    const bool nearly_full =
+        _lpq.size() + 1 >= _cfg.memCtrl.lpqEntries;
+    const std::size_t pick =
+        pickWriteCandidate(_lpq, now, !nearly_full && !forced &&
+                                          _logWriteRemoval);
+    if (pick == npos)
+        return false;
+    issueWriteEntry(_lpq, pick, now);
+    return true;
+}
+
+void
+MemCtrl::checkDrainDone()
+{
+    if (!_drainWaiters.empty()) {
+        const std::uint64_t oldest = oldestPendingSeq();
+        for (auto it = _drainWaiters.begin();
+             it != _drainWaiters.end();) {
+            if (oldest >= it->first) {
+                auto cb = std::move(it->second);
+                it = _drainWaiters.erase(it);
+                if (cb)
+                    cb();
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    for (auto it = _coreFlushWaiters.begin();
+         it != _coreFlushWaiters.end();) {
+        const CoreId core = it->first;
+        bool pending = _inflightLogs > 0;
+        if (!pending) {
+            for (const QueuedWrite &w : _lpq) {
+                if (w.req.core == core) {
+                    pending = true;
+                    break;
+                }
+            }
+        }
+        if (!pending) {
+            auto cb = std::move(it->second);
+            it = _coreFlushWaiters.erase(it);
+            if (cb)
+                cb();
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+MemCtrl::tick(Tick now)
+{
+    _wpqOccupancy.sample(_wpq.size());
+    _inflightSample.sample(_inflightWrites);
+    _lpqOccupancy.sample(_lpq.size() + _inflightLogs);
+    pumpAtomTruncation();
+
+    // One command per cycle: reads first, then regular writes, then the
+    // de-prioritized log writes (Section 4.3 arbiter).
+    if (!tryIssueRead(now)) {
+        if (!tryIssueWrite(now))
+            tryIssueLog(now);
+    }
+
+    if (!_drainWaiters.empty() || !_coreFlushWaiters.empty())
+        checkDrainDone();
+}
+
+} // namespace proteus

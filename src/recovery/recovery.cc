@@ -1,0 +1,126 @@
+#include "recovery.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+std::vector<LogRecord>
+Recovery::scanLog(const MemoryImage &image, Addr log_start, Addr log_end)
+{
+    std::vector<LogRecord> records;
+    for (Addr slot = log_start; slot + logEntrySize <= log_end;
+         slot += logEntrySize) {
+        std::uint8_t bytes[logEntrySize];
+        image.read(slot, bytes, sizeof(bytes));
+        const LogRecord rec = LogRecord::fromBytes(bytes);
+        if (rec.valid())
+            records.push_back(rec);
+    }
+    return records;
+}
+
+std::uint64_t
+Recovery::undo(MemoryImage &image, const std::vector<LogRecord> &records)
+{
+    // Recovery must restore the *pre-transaction* value: when several
+    // entries cover the same granule (LLT miss after eviction, or a
+    // rescheduled thread), only the earliest in program order is
+    // authoritative (Section 4.2).
+    std::map<Addr, const LogRecord *> earliest;
+    for (const LogRecord &rec : records) {
+        auto [it, inserted] = earliest.emplace(rec.fromAddr, &rec);
+        if (!inserted && rec.seq < it->second->seq)
+            it->second = &rec;
+    }
+    for (const auto &[addr, rec] : earliest)
+        image.write(addr, rec->data.data(), logDataSize);
+    return earliest.size();
+}
+
+RecoveryResult
+Recovery::recoverProteus(MemoryImage &image, Addr log_start, Addr log_end)
+{
+    RecoveryResult result;
+    const auto records = scanLog(image, log_start, log_end);
+    result.entriesScanned = records.size();
+    if (records.empty())
+        return result;
+
+    // Only the most recent transaction's entries are live: txIds are
+    // monotonic within a thread (Section 4.3).
+    TxId newest = 0;
+    for (const LogRecord &rec : records)
+        newest = std::max(newest, rec.txId);
+
+    std::vector<LogRecord> live;
+    bool committed = false;
+    for (const LogRecord &rec : records) {
+        if (rec.txId != newest)
+            continue;
+        live.push_back(rec);
+        if (rec.committed())
+            committed = true;
+    }
+    if (committed)
+        return result;
+
+    result.didUndo = true;
+    result.undoneTx = newest;
+    result.entriesApplied = undo(image, live);
+    return result;
+}
+
+RecoveryResult
+Recovery::recoverAtom(MemoryImage &image, Addr area_start, Addr area_end)
+{
+    RecoveryResult result;
+    const TxId committed = image.read64(area_start);
+    const auto records =
+        scanLog(image, area_start + logEntrySize, area_end);
+    result.entriesScanned = records.size();
+
+    std::vector<LogRecord> live;
+    TxId newest = 0;
+    for (const LogRecord &rec : records) {
+        if (rec.txId > committed) {
+            live.push_back(rec);
+            newest = std::max(newest, rec.txId);
+        }
+    }
+    if (live.empty())
+        return result;
+
+    result.didUndo = true;
+    result.undoneTx = newest;
+    result.entriesApplied = undo(image, live);
+    return result;
+}
+
+RecoveryResult
+Recovery::recoverSoftware(MemoryImage &image, Addr log_start,
+                          Addr log_end, Addr log_flag_addr)
+{
+    RecoveryResult result;
+    const TxId flagged = image.read64(log_flag_addr);
+    if (flagged == 0)
+        return result;  // no transaction was between steps 2 and 4
+
+    const auto records = scanLog(image, log_start, log_end);
+    result.entriesScanned = records.size();
+
+    std::vector<LogRecord> live;
+    for (const LogRecord &rec : records) {
+        if (rec.txId == flagged)
+            live.push_back(rec);
+    }
+    result.didUndo = true;
+    result.undoneTx = flagged;
+    result.entriesApplied = undo(image, live);
+    image.write64(log_flag_addr, 0);
+    return result;
+}
+
+} // namespace proteus

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Crash recovery for all three logging families.
+ *
+ * The crash image is what the persistency domain preserves: the NVM
+ * contents plus (under ADR) whatever the battery drains from the
+ * WPQ/LPQ. Recovery parses per-thread undo logs in that image and rolls
+ * back the one transaction per thread that may be incomplete:
+ *
+ *  - Proteus (Section 4.3): only entries of the *most recent*
+ *    transaction in a thread's log area are live; if none of them
+ *    carries the tx-end marker, the transaction was in flight and is
+ *    undone using the earliest entry per 32B granule.
+ *  - ATOM: the per-core commit record names the last committed
+ *    transaction; valid entries with a newer txId are undone.
+ *  - PMEM software logging (Figure 2): a nonzero logFlag means the
+ *    flagged transaction was in flight; its entries are undone.
+ */
+
+#ifndef PROTEUS_RECOVERY_RECOVERY_HH
+#define PROTEUS_RECOVERY_RECOVERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/memory_image.hh"
+#include "logging/log_record.hh"
+#include "sim/types.hh"
+
+namespace proteus {
+
+/** Outcome of recovering one thread's log. */
+struct RecoveryResult
+{
+    bool didUndo = false;
+    TxId undoneTx = 0;
+    std::uint64_t entriesApplied = 0;
+    std::uint64_t entriesScanned = 0;
+};
+
+/** Stateless recovery routines operating on a crash image. */
+class Recovery
+{
+  public:
+    /** Parse every valid record in [@p log_start, @p log_end). */
+    static std::vector<LogRecord> scanLog(const MemoryImage &image,
+                                          Addr log_start, Addr log_end);
+
+    /** Proteus: undo the newest transaction unless it is marked
+     *  committed (tx-end flag on any of its entries). */
+    static RecoveryResult recoverProteus(MemoryImage &image,
+                                         Addr log_start, Addr log_end);
+
+    /** ATOM: undo valid entries newer than the commit record stored in
+     *  the area's first block. */
+    static RecoveryResult recoverAtom(MemoryImage &image,
+                                      Addr area_start, Addr area_end);
+
+    /** PMEM software logging: undo the transaction named by logFlag. */
+    static RecoveryResult recoverSoftware(MemoryImage &image,
+                                          Addr log_start, Addr log_end,
+                                          Addr log_flag_addr);
+
+  private:
+    /** Apply the earliest entry per granule among @p records. */
+    static std::uint64_t undo(MemoryImage &image,
+                              const std::vector<LogRecord> &records);
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_RECOVERY_RECOVERY_HH

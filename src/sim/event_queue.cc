@@ -1,0 +1,40 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace proteus {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (!cb)
+        panic("EventQueue::schedule: empty callback");
+    _heap.push(Entry{when, _nextSeq++, std::move(cb)});
+}
+
+void
+EventQueue::runUntil(Tick now)
+{
+    while (!_heap.empty() && _heap.top().when <= now) {
+        // Copy out before pop so the callback may schedule new events.
+        Entry e = _heap.top();
+        _heap.pop();
+        e.cb();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return _heap.empty() ? maxTick : _heap.top().when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_heap.empty())
+        _heap.pop();
+    _nextSeq = 0;
+}
+
+} // namespace proteus

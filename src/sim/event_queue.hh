@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic discrete-event queue used alongside the cycle-driven
+ * component loop. Events scheduled for the same tick fire in scheduling
+ * order (FIFO), which keeps multi-component interactions reproducible.
+ */
+
+#ifndef PROTEUS_SIM_EVENT_QUEUE_HH
+#define PROTEUS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "types.hh"
+
+namespace proteus {
+
+/** Callback-based event queue keyed by absolute tick. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute tick @p when. */
+    void schedule(Tick when, Callback cb);
+
+    /** Run every event scheduled at or before @p now, in order. */
+    void runUntil(Tick now);
+
+    /** @return tick of the earliest pending event, or maxTick if empty. */
+    Tick nextEventTick() const;
+
+    bool empty() const { return _heap.empty(); }
+    std::size_t size() const { return _heap.size(); }
+
+    /** Drop all pending events (used by crash injection). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,29 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace proteus {
+namespace detail {
+
+int &
+verbosity()
+{
+    static int level = 1;
+    return level;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+void
+setVerbosity(int level)
+{
+    detail::verbosity() = level;
+}
+
+} // namespace proteus

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for conditions that indicate a simulator bug; fatal() is for
+ * user errors (bad configuration, invalid arguments); warn()/inform() are
+ * status messages that never stop the simulation.
+ */
+
+#ifndef PROTEUS_SIM_LOGGING_HH
+#define PROTEUS_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace proteus {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsupportable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendArgs(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendArgs(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendArgs(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    appendArgs(os, args...);
+    return os.str();
+}
+
+/** Runtime-settable verbosity: 0 = silent, 1 = warn, 2 = inform. */
+int &verbosity();
+
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort the simulation by throwing.
+ * Use when something happens that should never happen regardless of what
+ * the user does.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::formatMessage("panic: ", args...));
+}
+
+/**
+ * Report an unrecoverable user error (bad config, invalid arguments) and
+ * stop the simulation by throwing.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::formatMessage("fatal: ", args...));
+}
+
+/** Alert the user that something may not behave as they expect. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (detail::verbosity() >= 1)
+        detail::emit("warn", detail::formatMessage(args...));
+}
+
+/** Provide a normal operating status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    if (detail::verbosity() >= 2)
+        detail::emit("info", detail::formatMessage(args...));
+}
+
+/** Set global message verbosity (0 silent, 1 warn, 2 inform). */
+void setVerbosity(int level);
+
+} // namespace proteus
+
+#endif // PROTEUS_SIM_LOGGING_HH

@@ -1,0 +1,88 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace proteus {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Random::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Random::nextBelow: zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::uint64_t
+Random::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (hi < lo)
+        panic("Random::nextRange: hi < lo");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+bool
+Random::nextBool(double p)
+{
+    if (p <= 0)
+        return false;
+    if (p >= 1)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Random::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace proteus

@@ -1,0 +1,50 @@
+#include "simulator.hh"
+
+#include "logging.hh"
+
+namespace proteus {
+
+void
+Simulator::addTicked(Ticked *component)
+{
+    if (!component)
+        panic("Simulator::addTicked: null component");
+    _components.push_back(component);
+}
+
+void
+Simulator::schedule(Tick delay, EventQueue::Callback cb)
+{
+    _events.schedule(_now + delay, std::move(cb));
+}
+
+void
+Simulator::stepOneCycle()
+{
+    _events.runUntil(_now);
+    for (Ticked *c : _components)
+        c->tick(_now);
+    ++_now;
+}
+
+void
+Simulator::run(Tick cycles)
+{
+    _stopRequested = false;
+    for (Tick i = 0; i < cycles && !_stopRequested; ++i)
+        stepOneCycle();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Tick maxCycles)
+{
+    _stopRequested = false;
+    for (Tick i = 0; i < maxCycles && !_stopRequested; ++i) {
+        if (done())
+            return true;
+        stepOneCycle();
+    }
+    return done();
+}
+
+} // namespace proteus

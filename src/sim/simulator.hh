@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The cycle-driven simulation kernel.
+ *
+ * Components implement Ticked and register with the Simulator; every cycle
+ * the kernel first fires due events from the EventQueue, then calls tick()
+ * on each component in registration order. Registration order therefore
+ * defines intra-cycle evaluation order and is chosen by the system builder
+ * (memory first, then caches, then cores) so that responses produced this
+ * cycle are visible to consumers next cycle.
+ */
+
+#ifndef PROTEUS_SIM_SIMULATOR_HH
+#define PROTEUS_SIM_SIMULATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace proteus {
+
+/** Interface for components advanced once per simulated cycle. */
+class Ticked
+{
+  public:
+    virtual ~Ticked() = default;
+
+    /** Advance one cycle; @p now is the current tick. */
+    virtual void tick(Tick now) = 0;
+
+    /** Human-readable component name for diagnostics. */
+    virtual const std::string &componentName() const = 0;
+};
+
+/** Owns simulated time, the event queue, and the stat registry. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Register a component; evaluation happens in registration order. */
+    void addTicked(Ticked *component);
+
+    /** Current simulated tick (CPU cycles). */
+    Tick now() const { return _now; }
+
+    EventQueue &events() { return _events; }
+    stats::StatRegistry &statsRegistry() { return _stats; }
+
+    /** Schedule a callback @p delay cycles in the future. */
+    void schedule(Tick delay, EventQueue::Callback cb);
+
+    /** Advance exactly @p cycles cycles. */
+    void run(Tick cycles);
+
+    /**
+     * Run until @p done returns true or @p maxCycles elapse.
+     * @return true if @p done was satisfied, false on timeout.
+     */
+    bool runUntil(const std::function<bool()> &done, Tick maxCycles);
+
+    /** Request that run()/runUntil() stop at the end of this cycle. */
+    void requestStop() { _stopRequested = true; }
+
+  private:
+    void stepOneCycle();
+
+    Tick _now = 0;
+    bool _stopRequested = false;
+    EventQueue _events;
+    stats::StatRegistry _stats;
+    std::vector<Ticked *> _components;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_SIM_SIMULATOR_HH

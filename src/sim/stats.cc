@@ -1,0 +1,159 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace proteus {
+namespace stats {
+
+StatBase::StatBase(StatRegistry &registry, std::string name,
+                   std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    registry.add(this);
+}
+
+void
+StatBase::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << _name << std::right
+       << std::setw(16) << value() << "  # " << _desc << "\n";
+}
+
+void
+Average::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right
+       << std::setw(16) << value() << "  # " << desc()
+       << " (" << _count << " samples)\n";
+}
+
+Distribution::Distribution(StatRegistry &registry, std::string name,
+                           std::string desc, double min, double max,
+                           unsigned buckets)
+    : StatBase(registry, std::move(name), std::move(desc)),
+      _lo(min), _hi(max),
+      _bucketWidth(buckets ? (max - min) / buckets : 0),
+      _buckets(buckets, 0)
+{
+    if (buckets == 0 || max <= min)
+        panic("Distribution ", this->name(), ": bad bucket range");
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _minSeen = _maxSeen = v;
+    } else {
+        if (v < _minSeen) _minSeen = v;
+        if (v > _maxSeen) _maxSeen = v;
+    }
+    ++_count;
+    _sum += v;
+
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        ++_buckets[idx];
+    }
+}
+
+double
+Distribution::value() const
+{
+    return _count ? _sum / _count : 0;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = _minSeen = _maxSeen = 0;
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right
+       << std::setw(16) << value() << "  # " << desc()
+       << " (mean of " << _count << ", min " << _minSeen
+       << ", max " << _maxSeen << ")\n";
+}
+
+Formula::Formula(StatRegistry &registry, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(registry, std::move(name), std::move(desc)),
+      _fn(std::move(fn))
+{
+}
+
+void
+StatRegistry::add(StatBase *stat)
+{
+    auto [it, inserted] = _stats.emplace(stat->name(), stat);
+    if (!inserted)
+        panic("duplicate stat name: ", stat->name());
+}
+
+void
+StatRegistry::remove(const StatBase *stat)
+{
+    auto it = _stats.find(stat->name());
+    if (it != _stats.end() && it->second == stat)
+        _stats.erase(it);
+}
+
+const StatBase *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = _stats.find(name);
+    return it == _stats.end() ? nullptr : it->second;
+}
+
+double
+StatRegistry::lookup(const std::string &name) const
+{
+    const StatBase *s = find(name);
+    if (!s)
+        panic("unknown stat: ", name);
+    return s->value();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : _stats)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : _stats)
+        stat->dump(os);
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, stat] : _stats) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  \"" << name << "\": " << stat->value();
+    }
+    os << "\n}\n";
+}
+
+} // namespace stats
+} // namespace proteus

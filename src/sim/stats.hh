@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Stats register themselves with a StatRegistry (owned by the Simulator or
+ * created standalone for tests). Supported kinds: Scalar counters,
+ * Averages, Distributions (histograms), and Formulas evaluated at dump
+ * time. All stats carry a name and a description and can be dumped as
+ * text or looked up programmatically by the experiment harness.
+ */
+
+#ifndef PROTEUS_SIM_STATS_HH
+#define PROTEUS_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace stats {
+
+class StatRegistry;
+
+/** Common base for all statistics: name, description, reset/dump. */
+class StatBase
+{
+  public:
+    StatBase(StatRegistry &registry, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Primary value used by lookups and formulas. */
+    virtual double value() const = 0;
+    /** Clear accumulated state. */
+    virtual void reset() = 0;
+    /** Pretty-print one or more lines to @p os. */
+    virtual void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically adjustable scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator-=(double v) { _value -= v; return *this; }
+    void set(double v) { _value = v; }
+
+    double value() const override { return _value; }
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Accumulates samples and reports their arithmetic mean. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v) { _sum += v; ++_count; }
+
+    double value() const override { return _count ? _sum / _count : 0; }
+    std::uint64_t count() const { return _count; }
+    void reset() override { _sum = 0; _count = 0; }
+    void dump(std::ostream &os) const override;
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * A histogram over a fixed linear bucket range; samples outside the range
+ * land in underflow/overflow buckets.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatRegistry &registry, std::string name, std::string desc,
+                 double min, double max, unsigned buckets);
+
+    void sample(double v);
+
+    double value() const override;   ///< mean of all samples
+    double min() const { return _minSeen; }
+    double max() const { return _maxSeen; }
+    std::uint64_t count() const { return _count; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    void reset() override;
+    void dump(std::ostream &os) const override;
+
+  private:
+    double _lo;
+    double _hi;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _minSeen = 0;
+    double _maxSeen = 0;
+};
+
+/** A stat computed from other stats at dump/lookup time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatRegistry &registry, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const override { return _fn ? _fn() : 0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * Owns nothing but tracks every stat created against it; supports lookup
+ * by name, bulk reset, and a formatted dump.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Called by StatBase's constructor. */
+    void add(StatBase *stat);
+    /** Called by StatBase's destructor (stats may outlive registries in
+     *  tests; removal is best-effort by name). */
+    void remove(const StatBase *stat);
+
+    /** @return the stat registered under @p name or nullptr. */
+    const StatBase *find(const std::string &name) const;
+    /** @return value of @p name; panics if the stat does not exist. */
+    double lookup(const std::string &name) const;
+
+    void resetAll();
+    void dump(std::ostream &os) const;
+    /** Machine-readable dump: a flat JSON object of name -> value. */
+    void dumpJson(std::ostream &os) const;
+    std::size_t size() const { return _stats.size(); }
+
+  private:
+    std::map<std::string, StatBase *> _stats;
+};
+
+} // namespace stats
+} // namespace proteus
+
+#endif // PROTEUS_SIM_STATS_HH

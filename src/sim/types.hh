@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module.
+ */
+
+#ifndef PROTEUS_SIM_TYPES_HH
+#define PROTEUS_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace proteus {
+
+/** Simulation time expressed in CPU clock cycles. */
+using Tick = std::uint64_t;
+
+/** A simulated (virtual) memory address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a simulated hardware thread / core. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a durable transaction. */
+using TxId = std::uint64_t;
+
+/** Sentinel for "never" / "no deadline". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Cache block size used throughout the system (matches Table 1). */
+constexpr unsigned blockSize = 64;
+
+/** Logging granularity: data bytes captured per log entry (Section 4.1). */
+constexpr unsigned logDataSize = 32;
+
+/** Full log entry size: 32B data + metadata, fits one cache block. */
+constexpr unsigned logEntrySize = 64;
+
+/** Align an address down to its cache block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockSize - 1);
+}
+
+/** Align an address down to the 32-byte logging granule (Section 4.1). */
+constexpr Addr
+logAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(logDataSize - 1);
+}
+
+} // namespace proteus
+
+#endif // PROTEUS_SIM_TYPES_HH

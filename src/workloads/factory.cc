@@ -1,0 +1,38 @@
+#include "avltree_wl.hh"
+#include "btree_wl.hh"
+#include "hashmap_wl.hh"
+#include "linkedlist_wl.hh"
+#include "queue_wl.hh"
+#include "rbtree_wl.hh"
+#include "stringswap_wl.hh"
+#include "workload.hh"
+
+namespace proteus {
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, PersistentHeap &heap, LogScheme scheme,
+             const WorkloadParams &params,
+             const LinkedListOptions &ll_opts)
+{
+    switch (kind) {
+      case WorkloadKind::Queue:
+        return std::make_unique<QueueWorkload>(heap, scheme, params);
+      case WorkloadKind::HashMap:
+        return std::make_unique<HashMapWorkload>(heap, scheme, params);
+      case WorkloadKind::StringSwap:
+        return std::make_unique<StringSwapWorkload>(heap, scheme,
+                                                    params);
+      case WorkloadKind::AvlTree:
+        return std::make_unique<AvlTreeWorkload>(heap, scheme, params);
+      case WorkloadKind::BTree:
+        return std::make_unique<BTreeWorkload>(heap, scheme, params);
+      case WorkloadKind::RbTree:
+        return std::make_unique<RbTreeWorkload>(heap, scheme, params);
+      case WorkloadKind::LinkedList:
+        return std::make_unique<LinkedListWorkload>(heap, scheme,
+                                                    params, ll_opts);
+    }
+    return nullptr;
+}
+
+} // namespace proteus

@@ -1,0 +1,79 @@
+/** @file Tests for the JSON stats dump and harness option parsing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiments.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace proteus;
+
+TEST(StatsJson, WellFormedFlatObject)
+{
+    stats::StatRegistry reg;
+    stats::Scalar a(reg, "a.count", "");
+    stats::Scalar b(reg, "b.count", "");
+    a += 3;
+    b += 4;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"b.count\": 4"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.size() - 2], '}');
+    // Exactly one comma between two entries.
+    EXPECT_EQ(std::count(json.begin(), json.end(), ','), 1);
+}
+
+TEST(BenchOptionsParse, RecognizesAllFlags)
+{
+    const char *argv[] = {"prog",    "--scale",      "25",
+                          "--threads", "2",          "--seed",
+                          "9",       "--init-scale", "4",
+                          "--dram",  "--set",        "memCtrl.adr=false"};
+    BenchOptions opts = BenchOptions::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(opts.scale, 25u);
+    EXPECT_EQ(opts.threads, 2u);
+    EXPECT_EQ(opts.seed, 9u);
+    EXPECT_EQ(opts.initScale, 4u);
+    EXPECT_TRUE(opts.dram);
+
+    const SystemConfig cfg = opts.makeConfig();
+    EXPECT_FALSE(cfg.mem.nvmMode);      // --dram
+    EXPECT_FALSE(cfg.memCtrl.adr);      // --set override
+    EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(BenchOptionsParse, UnknownFlagIsFatal)
+{
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_THROW(BenchOptions::parse(2, const_cast<char **>(argv)),
+                 FatalError);
+}
+
+TEST(BenchOptionsParse, MissingValueIsFatal)
+{
+    const char *argv[] = {"prog", "--scale"};
+    EXPECT_THROW(BenchOptions::parse(2, const_cast<char **>(argv)),
+                 FatalError);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+}
+
+TEST(TablePrinterFmt, Precision)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.2345), "1.23");
+    EXPECT_EQ(TablePrinter::fmt(1.2345, 1), "1.2");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}

@@ -1,0 +1,89 @@
+/** @file Unit tests for configuration and overrides. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+TEST(Config, BaselineMatchesTable1)
+{
+    const SystemConfig cfg = baselineConfig();
+    EXPECT_EQ(cfg.cores, 4u);
+    EXPECT_EQ(cfg.cpu.robEntries, 224u);
+    EXPECT_EQ(cfg.cpu.issueQueueEntries, 64u);
+    EXPECT_EQ(cfg.cpu.loadQueueEntries, 72u);
+    EXPECT_EQ(cfg.cpu.storeQueueEntries, 56u);
+    EXPECT_EQ(cfg.caches.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.caches.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(cfg.caches.l3.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_EQ(cfg.caches.l3.ways, 16u);
+    EXPECT_TRUE(cfg.mem.nvmMode);
+    EXPECT_EQ(cfg.mem.nvmReadTRCD, 29u);
+    EXPECT_EQ(cfg.mem.nvmWriteTRCD, 109u);
+    EXPECT_EQ(cfg.logging.logRegisters, 8u);
+    EXPECT_EQ(cfg.logging.logQEntries, 16u);
+    EXPECT_EQ(cfg.logging.lltEntries, 64u);
+    EXPECT_EQ(cfg.logging.lltWays, 8u);
+    EXPECT_EQ(cfg.memCtrl.lpqEntries, 256u);
+    EXPECT_TRUE(cfg.memCtrl.adr);
+}
+
+TEST(Config, SlowNvmPreset)
+{
+    const SystemConfig cfg = slowNvmConfig();
+    EXPECT_EQ(cfg.mem.nvmWriteTRCD, 240u);   // 300 ns at 800 MHz
+    EXPECT_EQ(cfg.mem.nvmReadTRCD, 29u);     // reads unchanged
+}
+
+TEST(Config, DramPreset)
+{
+    const SystemConfig cfg = dramConfig();
+    EXPECT_FALSE(cfg.mem.nvmMode);
+}
+
+TEST(Config, OverridesApply)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.applyOverride("logging.logQEntries=8");
+    EXPECT_EQ(cfg.logging.logQEntries, 8u);
+    cfg.applyOverride("memCtrl.lpqEntries=32");
+    EXPECT_EQ(cfg.memCtrl.lpqEntries, 32u);
+    cfg.applyOverride("memCtrl.adr=false");
+    EXPECT_FALSE(cfg.memCtrl.adr);
+    cfg.applyOverride("logging.scheme=atom");
+    EXPECT_EQ(cfg.logging.scheme, LogScheme::ATOM);
+    cfg.applyOverride("mem.nvmWriteTRCD=240");
+    EXPECT_EQ(cfg.mem.nvmWriteTRCD, 240u);
+}
+
+TEST(Config, BadOverridesFatal)
+{
+    SystemConfig cfg = baselineConfig();
+    EXPECT_THROW(cfg.applyOverride("nonsense"), FatalError);
+    EXPECT_THROW(cfg.applyOverride("unknown.key=1"), FatalError);
+    EXPECT_THROW(cfg.applyOverride("cores=abc"), FatalError);
+    EXPECT_THROW(cfg.applyOverride("memCtrl.adr=maybe"), FatalError);
+}
+
+TEST(Config, SchemeNames)
+{
+    EXPECT_STREQ(toString(LogScheme::Proteus), "Proteus");
+    EXPECT_STREQ(toString(LogScheme::PMEMPCommit), "PMEM+pcommit");
+    EXPECT_EQ(parseScheme("proteus"), LogScheme::Proteus);
+    EXPECT_EQ(parseScheme("PMEM+NOLOG"), LogScheme::PMEMNoLog);
+    EXPECT_EQ(parseScheme("ideal"), LogScheme::PMEMNoLog);
+    EXPECT_EQ(parseScheme("nolwr"), LogScheme::ProteusNoLWR);
+    EXPECT_THROW(parseScheme("bogus"), FatalError);
+}
+
+TEST(Config, SoftwareSchemeClassification)
+{
+    EXPECT_TRUE(isSoftwareScheme(LogScheme::PMEM));
+    EXPECT_TRUE(isSoftwareScheme(LogScheme::PMEMPCommit));
+    EXPECT_TRUE(isSoftwareScheme(LogScheme::PMEMNoLog));
+    EXPECT_FALSE(isSoftwareScheme(LogScheme::ATOM));
+    EXPECT_FALSE(isSoftwareScheme(LogScheme::Proteus));
+    EXPECT_FALSE(isSoftwareScheme(LogScheme::ProteusNoLWR));
+}

@@ -1,0 +1,160 @@
+/** @file Unit tests for the DRAM/NVM bank timing model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dram/nvm_timing.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+stats::StatRegistry &
+reg()
+{
+    static stats::StatRegistry r;
+    return r;
+}
+
+int counter = 0;
+
+std::unique_ptr<NvmTiming>
+makeDram(bool nvm = true)
+{
+    MemTimingConfig cfg;
+    cfg.nvmMode = nvm;
+    return std::make_unique<NvmTiming>(
+        cfg, reg(), "dram" + std::to_string(counter++));
+}
+
+} // namespace
+
+TEST(NvmTiming, RowHitFasterThanMiss)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    const Tick miss = d.issue(0, false, 0);
+    ASSERT_TRUE(d.rowHit(64));
+    const Tick start = miss + 100;
+    const Tick hit = d.issue(64, false, start) - start;
+    EXPECT_LT(hit, miss);
+}
+
+TEST(NvmTiming, NvmWriteActivateSlowerThanRead)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    MemTimingConfig cfg;
+    const Tick read_done = d.issue(0, false, 0);
+    // A second bank, closed row, written: activation uses the NVM
+    // write latency (109 vs 29 memory cycles).
+    const Addr other_bank = cfg.rowBufferBytes;
+    const Tick write_done = d.issue(other_bank, true, 0);
+    EXPECT_GT(write_done, read_done + 200);
+}
+
+TEST(NvmTiming, DramModeHasNoNvmPenalty)
+{
+    auto dp = makeDram(false);
+    auto &d = *dp;
+    MemTimingConfig cfg;
+    const Tick read_done = d.issue(0, false, 0);
+    const Tick write_done = d.issue(cfg.rowBufferBytes, true, 0);
+    // Write adds only tWR beyond the read path.
+    EXPECT_LT(write_done, read_done + 100);
+}
+
+TEST(NvmTiming, BanksOperateInParallel)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    MemTimingConfig cfg;
+    ASSERT_NE(d.bankIndex(0), d.bankIndex(cfg.rowBufferBytes));
+    d.issue(0, true, 0);
+    // A different bank accepts a command while the first is busy.
+    EXPECT_TRUE(d.bankReady(cfg.rowBufferBytes, 1));
+}
+
+TEST(NvmTiming, SameRowWritesStreamAtBurstRate)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    d.issue(0, true, 0);
+    // The first write pays the long NVM activate...
+    Tick prev = 0;
+    while (!d.bankReady(64, prev))
+        ++prev;
+    d.issue(64, true, prev);
+    // ...after which same-row writes pipeline at ~burst rate.
+    for (int i = 2; i <= 5; ++i) {
+        const Addr a = static_cast<Addr>(i) * 64;
+        Tick t = prev;
+        while (!d.bankReady(a, t))
+            ++t;
+        EXPECT_LT(t - prev, 60u);   // ~tBurst in CPU cycles, not tRCD
+        d.issue(a, true, t);
+        prev = t;
+    }
+}
+
+TEST(NvmTiming, RowConflictReopensRow)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    MemTimingConfig cfg;
+    const Addr row0 = 0;
+    // Column group 17 XOR-folds back onto bank 0 with a different row.
+    const Addr row1 = static_cast<Addr>(cfg.rowBufferBytes) * 17;
+    ASSERT_EQ(d.bankIndex(row0), d.bankIndex(row1));
+    d.issue(row0, false, 0);
+    EXPECT_TRUE(d.rowHit(row0));
+    EXPECT_FALSE(d.rowHit(row1));
+    Tick t = 0;
+    while (!d.bankReady(row1, t))
+        ++t;
+    d.issue(row1, false, t);
+    EXPECT_TRUE(d.rowHit(row1));
+    EXPECT_FALSE(d.rowHit(row0));
+}
+
+TEST(NvmTiming, CountsReadsAndWrites)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    Tick t = 0;
+    for (int i = 0; i < 3; ++i) {
+        while (!d.bankReady(0, t))
+            ++t;
+        d.issue(0, false, t);
+    }
+    while (!d.bankReady(0, t))
+        ++t;
+    d.issue(0, true, t);
+    EXPECT_EQ(d.totalReads(), 3u);
+    EXPECT_EQ(d.totalWrites(), 1u);
+}
+
+TEST(NvmTiming, BusyBankPanics)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    d.issue(0, true, 0);
+    ASSERT_FALSE(d.bankReady(0, 0));
+    EXPECT_THROW(d.issue(0, true, 0), PanicError);
+}
+
+TEST(NvmTiming, XorMappingSpreadsSequentialRows)
+{
+    auto dp = makeDram();
+    auto &d = *dp;
+    MemTimingConfig cfg;
+    // Consecutive 2KB column groups land on distinct banks.
+    std::set<unsigned> banks;
+    for (unsigned i = 0; i < cfg.banks; ++i)
+        banks.insert(d.bankIndex(static_cast<Addr>(i) *
+                                 cfg.rowBufferBytes));
+    EXPECT_EQ(banks.size(), cfg.banks);
+}

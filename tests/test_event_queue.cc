@@ -1,0 +1,80 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+TEST(EventQueue, EmptyByDefault)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i]() { order.push_back(i); });
+    q.runUntil(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(11, [&]() { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextEventTick(), 11u);
+    q.runUntil(11);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackMayScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() {
+        ++fired;
+        q.schedule(1, [&]() { ++fired; });   // same tick: runs too
+    });
+    q.runUntil(1);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() { ++fired; });
+    q.schedule(2, [&]() { ++fired; });
+    q.clear();
+    q.runUntil(100);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, nullptr), PanicError);
+}

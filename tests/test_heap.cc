@@ -1,0 +1,109 @@
+/** @file Unit tests for the persistent heap and allocator. */
+
+#include <gtest/gtest.h>
+
+#include "heap/persistent_heap.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+TEST(RegionAllocator, AlignmentRespected)
+{
+    RegionAllocator alloc(0x1000, 0x100000);
+    const Addr a = alloc.allocate(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    const Addr b = alloc.allocate(8, 8);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST(RegionAllocator, ExactFitReuse)
+{
+    RegionAllocator alloc(0x1000, 0x100000);
+    const Addr a = alloc.allocate(64, 64);
+    alloc.release(a, 64);
+    const Addr b = alloc.allocate(64, 64);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RegionAllocator, LiveBytesTracked)
+{
+    RegionAllocator alloc(0x1000, 0x100000);
+    const Addr a = alloc.allocate(128);
+    EXPECT_EQ(alloc.liveBytes(), 128u);
+    alloc.release(a, 128);
+    EXPECT_EQ(alloc.liveBytes(), 0u);
+}
+
+TEST(RegionAllocator, ExhaustionIsFatal)
+{
+    RegionAllocator alloc(0, 256);
+    alloc.allocate(200);
+    EXPECT_THROW(alloc.allocate(100), FatalError);
+}
+
+TEST(RegionAllocator, BadArgsPanic)
+{
+    RegionAllocator alloc(0, 4096);
+    EXPECT_THROW(alloc.allocate(0), PanicError);
+    EXPECT_THROW(alloc.allocate(8, 3), PanicError);
+    EXPECT_THROW(alloc.release(8192, 8), PanicError);
+}
+
+TEST(PersistentHeap, RegionsClassifyAddresses)
+{
+    PersistentHeap heap;
+    const Addr v = heap.allocVolatile(64);
+    const Addr p = heap.alloc(64);
+    const Addr l = heap.allocLogArea(4096);
+    EXPECT_FALSE(PersistentHeap::isPersistent(v));
+    EXPECT_TRUE(PersistentHeap::isPersistent(p));
+    EXPECT_TRUE(PersistentHeap::isPersistent(l));
+    EXPECT_FALSE(PersistentHeap::isLogArea(p));
+    EXPECT_TRUE(PersistentHeap::isLogArea(l));
+}
+
+TEST(PersistentHeap, TypedReadWrite)
+{
+    PersistentHeap heap;
+    const Addr p = heap.alloc(64);
+    heap.write<std::uint64_t>(p, 0x1122334455667788ull);
+    EXPECT_EQ(heap.read<std::uint64_t>(p), 0x1122334455667788ull);
+    heap.write<std::uint32_t>(p + 8, 7);
+    EXPECT_EQ(heap.read<std::uint32_t>(p + 8), 7u);
+}
+
+TEST(PersistentHeap, NvmImageLagsUntilSync)
+{
+    PersistentHeap heap;
+    const Addr p = heap.alloc(64);
+    heap.write<std::uint64_t>(p, 99);
+    EXPECT_EQ(heap.nvmImage().read64(p), 0u);
+    heap.syncNvmToVolatile();
+    EXPECT_EQ(heap.nvmImage().read64(p), 99u);
+}
+
+TEST(PersistentHeap, LogAreasAreDistinct)
+{
+    PersistentHeap heap;
+    const Addr a = heap.allocLogArea(1 << 16);
+    const Addr b = heap.allocLogArea(1 << 16);
+    EXPECT_NE(a, b);
+    EXPECT_GE(b, a + (1 << 16));
+    EXPECT_EQ(a % logEntrySize, 0u);
+}
+
+TEST(PersistentHeap, ChaseArenaIsSharedAndPersistent)
+{
+    PersistentHeap heap;
+    const Addr a = heap.chaseArena();
+    EXPECT_EQ(a, heap.chaseArena());
+    EXPECT_TRUE(PersistentHeap::isPersistent(a));
+}
+
+TEST(HeapAlignHelpers, BlockAndGranuleAlign)
+{
+    EXPECT_EQ(blockAlign(0x1003F), 0x10000u);
+    EXPECT_EQ(blockAlign(0x10040), 0x10040u);
+    EXPECT_EQ(logAlign(0x1001F), 0x10000u);
+    EXPECT_EQ(logAlign(0x10020), 0x10020u);
+}

@@ -1,0 +1,101 @@
+/** @file Unit tests for the micro-op ISA and trace container. */
+
+#include <gtest/gtest.h>
+
+#include "isa/trace.hh"
+
+using namespace proteus;
+
+TEST(MicroOp, DefaultsAreInert)
+{
+    MicroOp m;
+    EXPECT_EQ(m.op, Op::Nop);
+    EXPECT_EQ(m.src0, noReg);
+    EXPECT_EQ(m.dst, noReg);
+    EXPECT_EQ(m.addr, invalidAddr);
+    EXPECT_EQ(m.payload, noPayload);
+    EXPECT_FALSE(m.persistent);
+}
+
+TEST(MicroOp, Classification)
+{
+    MicroOp m;
+    m.op = Op::Load;
+    EXPECT_TRUE(m.isLoad());
+    EXPECT_TRUE(m.isMem());
+    EXPECT_FALSE(m.isStore());
+    EXPECT_FALSE(m.isFence());
+
+    m.op = Op::LogFlush;
+    EXPECT_TRUE(m.isMem());
+    m.op = Op::SFence;
+    EXPECT_TRUE(m.isFence());
+    m.op = Op::PCommit;
+    EXPECT_TRUE(m.isFence());
+    m.op = Op::IntAlu;
+    EXPECT_FALSE(m.isMem());
+    EXPECT_FALSE(m.isFence());
+}
+
+TEST(MicroOp, MnemonicsArePrintable)
+{
+    EXPECT_STREQ(toString(Op::LogLoad), "log-load");
+    EXPECT_STREQ(toString(Op::LogFlush), "log-flush");
+    EXPECT_STREQ(toString(Op::TxBegin), "tx-begin");
+    EXPECT_STREQ(toString(Op::ClWb), "clwb");
+    EXPECT_STREQ(toString(Op::PCommit), "pcommit");
+}
+
+TEST(Trace, PushAndIndex)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    MicroOp m;
+    m.op = Op::IntAlu;
+    EXPECT_EQ(t.push(m), 0u);
+    m.op = Op::Store;
+    EXPECT_EQ(t.push(m), 1u);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.op(0).op, Op::IntAlu);
+    EXPECT_EQ(t.op(1).op, Op::Store);
+}
+
+TEST(Trace, CountOps)
+{
+    Trace t;
+    MicroOp m;
+    for (int i = 0; i < 5; ++i) {
+        m.op = Op::Load;
+        t.push(m);
+    }
+    m.op = Op::Store;
+    t.push(m);
+    EXPECT_EQ(t.countOps(Op::Load), 5u);
+    EXPECT_EQ(t.countOps(Op::Store), 1u);
+    EXPECT_EQ(t.countOps(Op::Branch), 0u);
+}
+
+TEST(Trace, PayloadsRoundTrip)
+{
+    Trace t;
+    LogPayload p;
+    p.fromAddr = 0x1234;
+    p.txId = 9;
+    p.bytes[0] = 0xAB;
+    const std::uint32_t id = t.addPayload(p);
+    MicroOp m;
+    m.op = Op::LogFlush;
+    m.payload = id;
+    t.push(m);
+    const LogPayload &back = t.logPayload(t.op(0).payload);
+    EXPECT_EQ(back.fromAddr, 0x1234u);
+    EXPECT_EQ(back.txId, 9u);
+    EXPECT_EQ(back.bytes[0], 0xAB);
+}
+
+TEST(IsaConstants, GranulesPerBlock)
+{
+    EXPECT_EQ(blockSize % logDataSize, 0u);
+    EXPECT_EQ(blockSize / logDataSize, 2u);
+    EXPECT_EQ(logEntrySize, blockSize);
+}

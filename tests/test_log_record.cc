@@ -1,0 +1,71 @@
+/** @file Unit tests for the on-NVM log record format. */
+
+#include <gtest/gtest.h>
+
+#include "logging/log_record.hh"
+
+using namespace proteus;
+
+namespace {
+
+LogRecord
+sampleRecord()
+{
+    LogRecord rec;
+    for (unsigned i = 0; i < logDataSize; ++i)
+        rec.data[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    rec.fromAddr = 0x4000'1230ull;
+    rec.txId = 0x77;
+    rec.seq = 5;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    return rec;
+}
+
+} // namespace
+
+TEST(LogRecord, PacksIntoOneBlock)
+{
+    const auto bytes = sampleRecord().toBytes();
+    EXPECT_EQ(bytes.size(), logEntrySize);
+}
+
+TEST(LogRecord, RoundTrip)
+{
+    const LogRecord rec = sampleRecord();
+    const auto bytes = rec.toBytes();
+    const LogRecord back = LogRecord::fromBytes(bytes.data());
+    EXPECT_EQ(back.data, rec.data);
+    EXPECT_EQ(back.fromAddr, rec.fromAddr);
+    EXPECT_EQ(back.txId, rec.txId);
+    EXPECT_EQ(back.seq, rec.seq);
+    EXPECT_EQ(back.flags, rec.flags);
+    EXPECT_EQ(back.magic, rec.magic);
+}
+
+TEST(LogRecord, ValidityRequiresMagicAndFlag)
+{
+    LogRecord rec = sampleRecord();
+    EXPECT_TRUE(rec.valid());
+
+    LogRecord no_magic = rec;
+    no_magic.magic = 0;
+    EXPECT_FALSE(no_magic.valid());
+
+    LogRecord no_flag = rec;
+    no_flag.flags = 0;
+    EXPECT_FALSE(no_flag.valid());
+
+    std::uint8_t zeros[logEntrySize] = {};
+    EXPECT_FALSE(LogRecord::fromBytes(zeros).valid());
+}
+
+TEST(LogRecord, CommitFlag)
+{
+    LogRecord rec = sampleRecord();
+    EXPECT_FALSE(rec.committed());
+    rec.flags |= LogRecord::flagTxEnd;
+    EXPECT_TRUE(rec.committed());
+    const auto bytes = rec.toBytes();
+    EXPECT_TRUE(LogRecord::fromBytes(bytes.data()).committed());
+}

@@ -1,0 +1,276 @@
+/** @file Unit tests for the memory controller (WPQ/LPQ/ADR, LWR, ATOM). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memctrl/mem_ctrl.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+struct McFixture
+{
+    explicit McFixture(LogScheme scheme = LogScheme::Proteus,
+                       unsigned atom_truncation_entries = 64)
+    {
+        cfg = baselineConfig();
+        cfg.logging.scheme = scheme;
+        cfg.logging.atomTruncationEntries = atom_truncation_entries;
+        mc = std::make_unique<MemCtrl>(sim, cfg, nvm);
+        sim.addTicked(mc.get());
+    }
+
+    WriteRequest
+    dataWrite(Addr addr, std::uint64_t value)
+    {
+        WriteRequest req;
+        req.addr = addr;
+        req.kind = WriteKind::Data;
+        std::memcpy(req.data.data(), &value, 8);
+        return req;
+    }
+
+    WriteRequest
+    logWrite(Addr log_to, CoreId core, TxId tx, Addr from,
+             std::uint64_t seq, std::uint32_t extra_flags = 0)
+    {
+        LogRecord rec;
+        rec.fromAddr = from;
+        rec.txId = tx;
+        rec.seq = seq;
+        rec.flags = LogRecord::flagValid | extra_flags;
+        rec.magic = LogRecord::magicValue;
+        WriteRequest req;
+        req.addr = log_to;
+        req.kind = WriteKind::Log;
+        req.core = core;
+        req.txId = tx;
+        req.data = rec.toBytes();
+        return req;
+    }
+
+    void
+    runUntilEmpty(Tick max = 1000000)
+    {
+        ASSERT_TRUE(sim.runUntil([&]() { return mc->empty(); }, max));
+    }
+
+    Simulator sim;
+    SystemConfig cfg;
+    MemoryImage nvm;
+    std::unique_ptr<MemCtrl> mc;
+};
+
+} // namespace
+
+TEST(MemCtrl, ReadCompletes)
+{
+    McFixture f;
+    bool done = false;
+    f.mc->read(0x1000, [&]() { done = true; });
+    f.sim.runUntil([&]() { return done; }, 10000);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(f.mc->nvmReads(), 1u);
+}
+
+TEST(MemCtrl, WriteReachesNvmImage)
+{
+    McFixture f;
+    f.mc->write(f.dataWrite(0x2000, 0xABCD));
+    f.runUntilEmpty();
+    EXPECT_EQ(f.nvm.read64(0x2000), 0xABCDu);
+    EXPECT_EQ(f.mc->nvmWrites(), 1u);
+}
+
+TEST(MemCtrl, WpqForwardsToReads)
+{
+    McFixture f;
+    f.mc->write(f.dataWrite(0x3000, 1));
+    bool done = false;
+    f.mc->read(0x3000, [&]() { done = true; });
+    // Forwarding completes in a few cycles without a DRAM read.
+    f.sim.run(20);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(f.mc->nvmReads(), 0u);
+}
+
+TEST(MemCtrl, WriteCombiningMergesSameBlock)
+{
+    McFixture f;
+    f.mc->write(f.dataWrite(0x4000, 1));
+    f.mc->write(f.dataWrite(0x4000, 2));
+    f.runUntilEmpty();
+    EXPECT_EQ(f.mc->nvmWrites(), 1u);
+    EXPECT_EQ(f.nvm.read64(0x4000), 2u);
+}
+
+TEST(MemCtrl, LogWritesGoToLpqAndAreHeld)
+{
+    McFixture f;
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    // Proteus holds log entries in the LPQ: no NVM writes yet.
+    f.sim.run(5000);
+    EXPECT_EQ(f.mc->nvmWrites(), 0u);
+    EXPECT_FALSE(f.mc->empty());
+}
+
+TEST(MemCtrl, TxEndFlashClearsLogEntries)
+{
+    McFixture f;
+    for (unsigned i = 0; i < 4; ++i) {
+        f.mc->write(f.logWrite(0x9000 + i * 64, 0, 7,
+                               0x5000 + i * 32, i));
+    }
+    f.mc->txEnd(0, 7);
+    // Three of four dropped; the last is the held tx-end marker.
+    EXPECT_EQ(f.mc->droppedLogWrites(), 3u);
+}
+
+TEST(MemCtrl, MarkerDroppedBySuccessorTx)
+{
+    McFixture f;
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    f.mc->txEnd(0, 7);
+    // First log write of tx 8 discards tx 7's held marker.
+    f.mc->write(f.logWrite(0x9040, 0, 8, 0x5020, 0));
+    f.mc->txEnd(0, 8);
+    f.sim.run(2);
+    EXPECT_DOUBLE_EQ(
+        f.sim.statsRegistry().lookup("mc.markersDropped"), 1.0);
+    // Transaction 7 never cost an NVM write at all.
+    EXPECT_EQ(f.mc->nvmWrites(), 0u);
+}
+
+TEST(MemCtrl, NoLwrWritesAllLogEntries)
+{
+    McFixture f(LogScheme::ProteusNoLWR);
+    for (unsigned i = 0; i < 4; ++i) {
+        f.mc->write(f.logWrite(0x9000 + i * 64, 0, 7,
+                               0x5000 + i * 32, i));
+    }
+    f.mc->txEnd(0, 7);      // no-op without log write removal
+    EXPECT_EQ(f.mc->droppedLogWrites(), 0u);
+    f.runUntilEmpty();
+    EXPECT_EQ(f.mc->nvmWrites(), 4u);
+}
+
+TEST(MemCtrl, LogGranuleDurableTracksAcceptance)
+{
+    McFixture f;
+    EXPECT_FALSE(f.mc->logGranuleDurable(0, 7, 0x5000));
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    EXPECT_TRUE(f.mc->logGranuleDurable(0, 7, 0x5000));
+    EXPECT_TRUE(f.mc->logGranuleDurable(0, 7, 0x5010));  // same granule
+    EXPECT_FALSE(f.mc->logGranuleDurable(0, 7, 0x5020));
+    EXPECT_FALSE(f.mc->logGranuleDurable(1, 7, 0x5000)); // other core
+}
+
+TEST(MemCtrl, DrainWatermarkIgnoresLaterWrites)
+{
+    McFixture f;
+    f.mc->write(f.dataWrite(0x2000, 1));
+    bool drained = false;
+    f.mc->drain([&]() { drained = true; });
+    // Writes arriving after the pcommit do not delay it.
+    f.mc->write(f.dataWrite(0x2040, 2));
+    f.sim.runUntil([&]() { return drained; }, 100000);
+    EXPECT_TRUE(drained);
+}
+
+TEST(MemCtrl, BatteryDrainAppliesQueuedWrites)
+{
+    McFixture f;
+    f.mc->write(f.dataWrite(0x6000, 0x11));
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    // Nothing has reached the NVM array yet.
+    MemoryImage crash = f.nvm;
+    f.mc->applyBatteryDrain(crash);
+    EXPECT_EQ(crash.read64(0x6000), 0x11u);
+    std::uint8_t bytes[logEntrySize];
+    crash.read(0x9000, bytes, sizeof(bytes));
+    EXPECT_TRUE(LogRecord::fromBytes(bytes).valid());
+}
+
+TEST(MemCtrl, AtomLogAllocatesSlotsAndAcks)
+{
+    McFixture f(LogScheme::ATOM);
+    f.mc->bindAtomLogArea(0, 0xA0000, 0xA0000 + 64 * logEntrySize);
+    LogRecord rec;
+    rec.fromAddr = 0x5000;
+    rec.txId = 3;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    EXPECT_TRUE(f.mc->atomLog(0, 3, rec));
+    EXPECT_TRUE(f.mc->logGranuleDurable(0, 3, 0x5000));
+    f.runUntilEmpty();
+    // Entry written beyond the commit-record block.
+    std::uint8_t bytes[logEntrySize];
+    f.nvm.read(0xA0000 + logEntrySize, bytes, sizeof(bytes));
+    EXPECT_TRUE(LogRecord::fromBytes(bytes).valid());
+}
+
+TEST(MemCtrl, AtomCommitRecordWritten)
+{
+    McFixture f(LogScheme::ATOM);
+    f.mc->bindAtomLogArea(0, 0xA0000, 0xA0000 + 64 * logEntrySize);
+    EXPECT_TRUE(f.mc->atomTxCommit(0, 42));
+    f.runUntilEmpty();
+    EXPECT_EQ(f.nvm.read64(0xA0000), 42u);
+}
+
+TEST(MemCtrl, AtomTruncationBeyondResourcesSearches)
+{
+    McFixture f(LogScheme::ATOM, 2);
+    f.mc->bindAtomLogArea(0, 0xA0000, 0xA0000 + 64 * logEntrySize);
+
+    LogRecord rec;
+    rec.fromAddr = 0x5000;
+    rec.txId = 3;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    for (unsigned i = 0; i < 5; ++i) {
+        rec.seq = i;
+        ASSERT_TRUE(f.mc->atomLog(0, 3, rec));
+    }
+    bool done = false;
+    f.mc->atomTxEnd(0, 3, [&]() { done = true; });
+    f.sim.runUntil([&]() { return done; }, 1000000);
+    EXPECT_TRUE(done);
+    // Three untracked entries needed a search read + invalidation.
+    EXPECT_DOUBLE_EQ(
+        f.sim.statsRegistry().lookup("mc.atomSearchReads"), 3.0);
+    EXPECT_DOUBLE_EQ(
+        f.sim.statsRegistry().lookup("mc.atomInvalidationWrites"), 3.0);
+}
+
+TEST(MemCtrl, FullQueuePanicsAndCanAcceptGuards)
+{
+    McFixture f;
+    unsigned accepted = 0;
+    while (f.mc->canAcceptWrite(WriteKind::Data)) {
+        f.mc->write(f.dataWrite(0x100000 + accepted * 64, accepted));
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, f.cfg.memCtrl.wpqEntries);
+    EXPECT_THROW(f.mc->write(f.dataWrite(0x9990000, 1)), PanicError);
+}
+
+TEST(MemCtrl, UnalignedWritePanics)
+{
+    McFixture f;
+    EXPECT_THROW(f.mc->write(f.dataWrite(0x1001, 1)), PanicError);
+}
+
+TEST(MemCtrl, FlushCoreLogsDrains)
+{
+    McFixture f;
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    bool done = false;
+    f.mc->flushCoreLogs(0, [&]() { done = true; });
+    f.sim.runUntil([&]() { return done; }, 1000000);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(f.mc->nvmWrites(), 1u);   // forced to NVM
+}

@@ -1,0 +1,81 @@
+/** @file Unit tests for the sparse memory image. */
+
+#include <gtest/gtest.h>
+
+#include "heap/memory_image.hh"
+
+using namespace proteus;
+
+TEST(MemoryImage, ZeroBeforeTouch)
+{
+    MemoryImage img;
+    EXPECT_EQ(img.read64(0x1234), 0u);
+    EXPECT_EQ(img.pageCount(), 0u);
+}
+
+TEST(MemoryImage, ReadBackWritten)
+{
+    MemoryImage img;
+    img.write64(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(img.read64(0x1000), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(img.pageCount(), 1u);
+}
+
+TEST(MemoryImage, CrossPageAccess)
+{
+    MemoryImage img;
+    const Addr addr = MemoryImage::pageBytes - 3;
+    const std::uint64_t v = 0x0102030405060708ull;
+    img.write(addr, &v, 8);
+    std::uint64_t out = 0;
+    img.read(addr, &out, 8);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(img.pageCount(), 2u);
+}
+
+TEST(MemoryImage, PartialWritesMerge)
+{
+    MemoryImage img;
+    img.write64(0x40, 0);
+    const std::uint8_t b = 0xAB;
+    img.write(0x42, &b, 1);
+    const std::uint64_t v = img.read64(0x40);
+    EXPECT_EQ((v >> 16) & 0xFF, 0xABu);
+    EXPECT_EQ(v & 0xFFFF, 0u);
+}
+
+TEST(MemoryImage, DeepCopyIsIndependent)
+{
+    MemoryImage a;
+    a.write64(0x100, 1);
+    MemoryImage b = a;
+    b.write64(0x100, 2);
+    EXPECT_EQ(a.read64(0x100), 1u);
+    EXPECT_EQ(b.read64(0x100), 2u);
+
+    MemoryImage c;
+    c = a;
+    a.write64(0x100, 3);
+    EXPECT_EQ(c.read64(0x100), 1u);
+}
+
+TEST(MemoryImage, ClearDropsPages)
+{
+    MemoryImage img;
+    img.write64(0x10, 9);
+    img.clear();
+    EXPECT_EQ(img.pageCount(), 0u);
+    EXPECT_EQ(img.read64(0x10), 0u);
+}
+
+TEST(MemoryImage, LargeSpanRoundTrip)
+{
+    MemoryImage img;
+    std::vector<std::uint8_t> data(3 * MemoryImage::pageBytes + 17);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    img.write(12345, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    img.read(12345, out.data(), out.size());
+    EXPECT_EQ(data, out);
+}

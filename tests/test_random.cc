@@ -1,0 +1,81 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace proteus;
+
+TEST(Random, DeterministicPerSeed)
+{
+    Random a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 64; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Random, NextBelowInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+    EXPECT_THROW(r.nextBelow(0), PanicError);
+}
+
+TEST(Random, NextRangeInclusive)
+{
+    Random r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 6;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+    EXPECT_THROW(r.nextRange(6, 3), PanicError);
+}
+
+TEST(Random, NextBoolEdges)
+{
+    Random r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += r.nextBool(0.5) ? 1 : 0;
+    EXPECT_NEAR(heads, 5000, 400);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, BelowIsRoughlyUniform)
+{
+    Random r(17);
+    std::vector<unsigned> hist(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hist[r.nextBelow(8)];
+    for (unsigned count : hist)
+        EXPECT_NEAR(count, 1000u, 150u);
+}

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Crash injection and recovery: the heart of failure safety.
+ *
+ * A simulation is stopped at an arbitrary cycle; the crash image is
+ * what the persistency domain preserves (NVM + battery-backed WPQ/LPQ
+ * under ADR). Recovery rolls back at most one in-flight transaction
+ * per thread using the durable undo logs. Afterwards:
+ *
+ *  1. every structural invariant must hold (no torn transactions), and
+ *  2. for single-threaded runs, the recovered state must equal a
+ *     functional replay of exactly the committed transactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "harness/system.hh"
+#include "recovery/recovery.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+WorkloadParams
+crashParams(unsigned threads)
+{
+    WorkloadParams p;
+    p.threads = threads;
+    p.scale = 250;
+    p.initScale = 100;
+    p.seed = 11;
+    return p;
+}
+
+/** Run recovery for every thread of @p system against @p image. */
+void
+recoverAll(FullSystem &system, MemoryImage &image)
+{
+    const LogScheme scheme = system.config().logging.scheme;
+    for (unsigned t = 0; t < system.coreCount(); ++t) {
+        TraceBuilder &tb = system.workload().builder(t);
+        switch (scheme) {
+          case LogScheme::PMEM:
+          case LogScheme::PMEMPCommit:
+            Recovery::recoverSoftware(image, tb.logAreaStart(),
+                                      tb.logAreaEnd(),
+                                      tb.logFlagAddr());
+            break;
+          case LogScheme::Proteus:
+          case LogScheme::ProteusNoLWR:
+            Recovery::recoverProteus(image, tb.logAreaStart(),
+                                     tb.logAreaEnd());
+            break;
+          case LogScheme::ATOM: {
+            const auto [start, end] = system.atomLogArea(t);
+            Recovery::recoverAtom(image, start, end);
+            break;
+          }
+          case LogScheme::PMEMNoLog:
+            break;      // not failure-safe by design
+        }
+    }
+}
+
+using CrashCase = std::tuple<LogScheme, WorkloadKind, unsigned>;
+
+class CrashRecovery : public ::testing::TestWithParam<CrashCase>
+{
+};
+
+} // namespace
+
+TEST_P(CrashRecovery, RecoversToAConsistentCommittedPrefix)
+{
+    const auto [scheme, kind, crash_percent] = GetParam();
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = scheme;
+    cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
+
+    const WorkloadParams params = crashParams(1);
+    FullSystem system(cfg, kind, params);
+
+    // Find the total runtime once, then crash partway through it.
+    const RunResult full = system.run(500'000'000ull);
+    ASSERT_TRUE(full.finished);
+    const Tick crash_at = full.cycles * crash_percent / 100;
+
+    FullSystem crashed(cfg, kind, params);
+    crashed.runFor(crash_at);
+    MemoryImage image = crashed.crashImage();
+    recoverAll(crashed, image);
+
+    // (1) No torn transactions.
+    const std::string err =
+        crashed.workload().checkInvariants(image);
+    EXPECT_TRUE(err.empty()) << "crash at " << crash_at << ": " << err;
+
+    // (2) Exact committed-prefix equivalence (single thread).
+    const std::uint64_t committed =
+        crashed.core(0).committedTxs().size();
+    PersistentHeap replay_heap;
+    auto replay = makeWorkload(kind, replay_heap, scheme, params);
+    replay->setup();
+    replay->replayOps(committed);
+    EXPECT_EQ(crashed.workload().serialize(image),
+              replay->serialize(replay_heap.volatileImage()))
+        << "recovered state is not the committed prefix (committed="
+        << committed << ", crash at " << crash_at << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashMatrix, CrashRecovery,
+    ::testing::Combine(
+        ::testing::Values(LogScheme::PMEM, LogScheme::ATOM,
+                          LogScheme::Proteus,
+                          LogScheme::ProteusNoLWR),
+        ::testing::Values(WorkloadKind::Queue, WorkloadKind::HashMap,
+                          WorkloadKind::RbTree),
+        ::testing::Values(13u, 37u, 61u, 88u)),
+    [](const ::testing::TestParamInfo<CrashCase> &info) {
+        std::string name = toString(std::get<0>(info.param));
+        for (char &c : name) {
+            if (c == '+')
+                c = '_';
+        }
+        return name + "_" + toString(std::get<1>(info.param)) + "_at" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+namespace {
+
+class CrashRecoveryMulti
+    : public ::testing::TestWithParam<std::tuple<LogScheme, unsigned>>
+{
+};
+
+} // namespace
+
+TEST_P(CrashRecoveryMulti, InvariantsHoldAfterMultiThreadCrash)
+{
+    const auto [scheme, crash_percent] = GetParam();
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = scheme;
+
+    const WorkloadParams params = crashParams(4);
+    FullSystem system(cfg, WorkloadKind::AvlTree, params);
+    const RunResult full = system.run(500'000'000ull);
+    ASSERT_TRUE(full.finished);
+
+    FullSystem crashed(cfg, WorkloadKind::AvlTree, params);
+    crashed.runFor(full.cycles * crash_percent / 100);
+    MemoryImage image = crashed.crashImage();
+    recoverAll(crashed, image);
+    const std::string err =
+        crashed.workload().checkInvariants(image);
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiThread, CrashRecoveryMulti,
+    ::testing::Combine(::testing::Values(LogScheme::PMEM,
+                                         LogScheme::ATOM,
+                                         LogScheme::Proteus),
+                       ::testing::Values(23u, 52u, 79u)),
+    [](const ::testing::TestParamInfo<std::tuple<LogScheme, unsigned>>
+           &info) {
+        std::string name = toString(std::get<0>(info.param));
+        for (char &c : name) {
+            if (c == '+')
+                c = '_';
+        }
+        return name + "_at" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RecoveryUnit, ScanFindsOnlyValidRecords)
+{
+    MemoryImage image;
+    LogRecord rec;
+    rec.fromAddr = 0x5000;
+    rec.txId = 1;
+    rec.seq = 0;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    const auto bytes = rec.toBytes();
+    image.write(0x9000, bytes.data(), bytes.size());
+    // Garbage in the next slot.
+    image.write64(0x9040, 0x1234);
+
+    const auto records = Recovery::scanLog(image, 0x9000, 0x9000 + 640);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].fromAddr, 0x5000u);
+}
+
+TEST(RecoveryUnit, UndoUsesEarliestEntryPerGranule)
+{
+    MemoryImage image;
+    image.write64(0x5000, 0xFFFF);      // corrupted current value
+
+    // Two entries for the same granule: seq 1 (old value 0xAAAA) and
+    // seq 2 (mid-transaction value 0xBBBB). Recovery must apply seq 1.
+    for (unsigned i = 0; i < 2; ++i) {
+        LogRecord rec;
+        const std::uint64_t v = i == 0 ? 0xAAAA : 0xBBBB;
+        std::memcpy(rec.data.data(), &v, 8);
+        rec.fromAddr = 0x5000;
+        rec.txId = 9;
+        rec.seq = i + 1;
+        rec.flags = LogRecord::flagValid;
+        rec.magic = LogRecord::magicValue;
+        const auto bytes = rec.toBytes();
+        image.write(0x9000 + i * logEntrySize, bytes.data(),
+                    bytes.size());
+    }
+    const auto result =
+        Recovery::recoverProteus(image, 0x9000, 0x9000 + 2 * 64);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_EQ(result.undoneTx, 9u);
+    EXPECT_EQ(image.read64(0x5000), 0xAAAAu);
+}
+
+TEST(RecoveryUnit, CommittedMarkerSuppressesUndo)
+{
+    MemoryImage image;
+    image.write64(0x5000, 0x1);
+    LogRecord rec;
+    const std::uint64_t v = 0x0;
+    std::memcpy(rec.data.data(), &v, 8);
+    rec.fromAddr = 0x5000;
+    rec.txId = 9;
+    rec.seq = 1;
+    rec.flags = LogRecord::flagValid | LogRecord::flagTxEnd;
+    rec.magic = LogRecord::magicValue;
+    const auto bytes = rec.toBytes();
+    image.write(0x9000, bytes.data(), bytes.size());
+
+    const auto result =
+        Recovery::recoverProteus(image, 0x9000, 0x9000 + 64);
+    EXPECT_FALSE(result.didUndo);
+    EXPECT_EQ(image.read64(0x5000), 0x1u);  // committed data kept
+}
+
+TEST(RecoveryUnit, OnlyNewestTxIsLive)
+{
+    MemoryImage image;
+    image.write64(0x5000, 0x22);    // committed by tx 8
+    image.write64(0x6000, 0x33);    // in-flight write of tx 9
+
+    auto put = [&](Addr slot, TxId tx, Addr from, std::uint64_t old) {
+        LogRecord rec;
+        std::memcpy(rec.data.data(), &old, 8);
+        rec.fromAddr = from;
+        rec.txId = tx;
+        rec.seq = 0;
+        rec.flags = LogRecord::flagValid;
+        rec.magic = LogRecord::magicValue;
+        const auto bytes = rec.toBytes();
+        image.write(slot, bytes.data(), bytes.size());
+    };
+    // tx 8's stale entry (it committed; its marker was discarded when
+    // tx 9's first entry arrived) and tx 9's live entry.
+    put(0x9000, 8, 0x5000, 0x11);
+    put(0x9040, 9, 0x6000, 0x00);
+
+    const auto result =
+        Recovery::recoverProteus(image, 0x9000, 0x9000 + 128);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_EQ(result.undoneTx, 9u);
+    EXPECT_EQ(image.read64(0x6000), 0x0u);      // tx 9 undone
+    EXPECT_EQ(image.read64(0x5000), 0x22u);     // tx 8 untouched
+}
+
+TEST(RecoveryUnit, SoftwareFlagGatesUndo)
+{
+    MemoryImage image;
+    const Addr flag = 0x4000;
+    image.write64(0x5000, 0x77);
+    LogRecord rec;
+    const std::uint64_t old = 0x55;
+    std::memcpy(rec.data.data(), &old, 8);
+    rec.fromAddr = 0x5000;
+    rec.txId = 42;
+    rec.seq = 0;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    const auto bytes = rec.toBytes();
+    image.write(0x9000, bytes.data(), bytes.size());
+
+    // Flag clear: no undo.
+    image.write64(flag, 0);
+    auto result =
+        Recovery::recoverSoftware(image, 0x9000, 0x9040, flag);
+    EXPECT_FALSE(result.didUndo);
+    EXPECT_EQ(image.read64(0x5000), 0x77u);
+
+    // Flag set to tx 42: undo applies and clears the flag.
+    image.write64(flag, 42);
+    result = Recovery::recoverSoftware(image, 0x9000, 0x9040, flag);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_EQ(image.read64(0x5000), 0x55u);
+    EXPECT_EQ(image.read64(flag), 0u);
+}
+
+TEST(RecoveryUnit, AtomCommitRecordGatesUndo)
+{
+    MemoryImage image;
+    const Addr area = 0xA000;
+    image.write64(0x5000, 0x77);
+
+    LogRecord rec;
+    const std::uint64_t old = 0x55;
+    std::memcpy(rec.data.data(), &old, 8);
+    rec.fromAddr = 0x5000;
+    rec.txId = 10;
+    rec.seq = 0;
+    rec.flags = LogRecord::flagValid;
+    rec.magic = LogRecord::magicValue;
+    const auto bytes = rec.toBytes();
+    image.write(area + logEntrySize, bytes.data(), bytes.size());
+
+    // Commit record already covers tx 10: no undo.
+    image.write64(area, 10);
+    auto result = Recovery::recoverAtom(image, area, area + 1024);
+    EXPECT_FALSE(result.didUndo);
+
+    // Commit record at tx 9: tx 10 was in flight and is undone.
+    image.write64(area, 9);
+    result = Recovery::recoverAtom(image, area, area + 1024);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_EQ(image.read64(0x5000), 0x55u);
+}

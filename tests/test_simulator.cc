@@ -1,0 +1,109 @@
+/** @file Unit tests for the cycle-driven simulation kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+class Probe : public Ticked
+{
+  public:
+    explicit Probe(std::string name) : _name(std::move(name)) {}
+    void tick(Tick now) override
+    {
+        ++ticks;
+        lastTick = now;
+        if (onTick)
+            onTick(now);
+    }
+    const std::string &componentName() const override { return _name; }
+
+    unsigned ticks = 0;
+    Tick lastTick = 0;
+    std::function<void(Tick)> onTick;
+
+  private:
+    std::string _name;
+};
+
+} // namespace
+
+TEST(Simulator, RunAdvancesTime)
+{
+    Simulator sim;
+    Probe p("p");
+    sim.addTicked(&p);
+    sim.run(10);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(p.ticks, 10u);
+    EXPECT_EQ(p.lastTick, 9u);
+}
+
+TEST(Simulator, ComponentsTickInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    Probe a("a"), b("b");
+    a.onTick = [&](Tick) { order.push_back(1); };
+    b.onTick = [&](Tick) { order.push_back(2); };
+    sim.addTicked(&a);
+    sim.addTicked(&b);
+    sim.run(1);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, EventsFireBeforeTicks)
+{
+    Simulator sim;
+    std::vector<int> order;
+    Probe p("p");
+    p.onTick = [&](Tick now) {
+        if (now == 5)
+            order.push_back(2);
+    };
+    sim.addTicked(&p);
+    sim.schedule(5, [&]() { order.push_back(1); });
+    sim.run(6);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilPredicate)
+{
+    Simulator sim;
+    Probe p("p");
+    sim.addTicked(&p);
+    bool ok = sim.runUntil([&]() { return p.ticks >= 7; }, 100);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(p.ticks, 7u);
+}
+
+TEST(Simulator, RunUntilTimesOut)
+{
+    Simulator sim;
+    bool ok = sim.runUntil([]() { return false; }, 50);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, RequestStopEndsRun)
+{
+    Simulator sim;
+    Probe p("p");
+    p.onTick = [&](Tick now) {
+        if (now == 3)
+            sim.requestStop();
+    };
+    sim.addTicked(&p);
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST(Simulator, NullComponentPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.addTicked(nullptr), PanicError);
+}

@@ -1,0 +1,119 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+using namespace proteus::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatRegistry reg;
+    Scalar s(reg, "a", "desc");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s -= 2;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageIsMean)
+{
+    StatRegistry reg;
+    Average a(reg, "avg", "desc");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBucketsAndExtremes)
+{
+    StatRegistry reg;
+    Distribution d(reg, "dist", "desc", 0, 10, 5);
+    d.sample(-1);   // underflow
+    d.sample(0);
+    d.sample(9.5);
+    d.sample(100);  // overflow
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[4], 1u);
+}
+
+TEST(Stats, DistributionRejectsBadRange)
+{
+    StatRegistry reg;
+    EXPECT_THROW(Distribution(reg, "bad", "d", 5, 5, 4), PanicError);
+    EXPECT_THROW(Distribution(reg, "bad2", "d", 0, 10, 0), PanicError);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatRegistry reg;
+    Scalar a(reg, "a", "");
+    Scalar b(reg, "b", "");
+    Formula f(reg, "ratio", "", [&]() {
+        return b.value() != 0 ? a.value() / b.value() : 0;
+    });
+    a += 6;
+    b += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    a += 6;
+    EXPECT_DOUBLE_EQ(f.value(), 4.0);
+}
+
+TEST(Stats, RegistryLookupAndDuplicates)
+{
+    StatRegistry reg;
+    Scalar a(reg, "x.count", "");
+    a += 7;
+    EXPECT_DOUBLE_EQ(reg.lookup("x.count"), 7.0);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+    EXPECT_THROW(reg.lookup("missing"), PanicError);
+    EXPECT_THROW(Scalar(reg, "x.count", "dup"), PanicError);
+}
+
+TEST(Stats, RegistryResetAll)
+{
+    StatRegistry reg;
+    Scalar a(reg, "a", "");
+    Average b(reg, "b", "");
+    a += 3;
+    b.sample(10);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatRegistry reg;
+    Scalar a(reg, "core.retired", "micro-ops retired");
+    a += 42;
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("core.retired"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Stats, RemovedStatLeavesRegistry)
+{
+    StatRegistry reg;
+    {
+        Scalar temp(reg, "temp", "");
+        reg.remove(&temp);
+        EXPECT_EQ(reg.find("temp"), nullptr);
+    }
+    Scalar again(reg, "temp", "");
+    EXPECT_NE(reg.find("temp"), nullptr);
+}

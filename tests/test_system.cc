@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end integration tests: a FullSystem runs a workload's traces
+ * to completion under every scheme. The persist-ordering checker is
+ * active throughout (any store made durable before its undo log would
+ * panic). At the end, the crash image (NVM + battery-backed queues)
+ * must reproduce the functional final state — i.e., every committed
+ * transaction really became durable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.threads = 2;
+    p.scale = 500;
+    p.initScale = 100;
+    p.seed = 3;
+    return p;
+}
+
+using SchemeWorkload = std::tuple<LogScheme, WorkloadKind>;
+
+class SystemIntegration
+    : public ::testing::TestWithParam<SchemeWorkload>
+{
+};
+
+} // namespace
+
+TEST_P(SystemIntegration, RunsToDurableCompletion)
+{
+    const auto [scheme, kind] = GetParam();
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = scheme;
+    cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
+
+    FullSystem system(cfg, kind, tinyParams());
+    const RunResult result = system.run(500'000'000ull);
+    ASSERT_TRUE(result.finished);
+    EXPECT_GT(result.retiredOps, 0u);
+    EXPECT_GT(result.committedTxs, 0u);
+
+    // Functional invariants hold...
+    Workload &wl = system.workload();
+    const MemoryImage &final_state = system.heap().volatileImage();
+    EXPECT_TRUE(wl.checkInvariants(final_state).empty());
+
+    // ...and everything committed is durable: the crash image equals
+    // the functional state for the persistent structures.
+    const MemoryImage crash = system.crashImage();
+    EXPECT_EQ(wl.serialize(crash), wl.serialize(final_state))
+        << "committed transactions were not durable at completion";
+    EXPECT_TRUE(wl.checkInvariants(crash).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndWorkloads, SystemIntegration,
+    ::testing::Combine(
+        ::testing::Values(LogScheme::PMEM, LogScheme::PMEMPCommit,
+                          LogScheme::PMEMNoLog, LogScheme::ATOM,
+                          LogScheme::Proteus, LogScheme::ProteusNoLWR),
+        ::testing::Values(WorkloadKind::Queue, WorkloadKind::HashMap,
+                          WorkloadKind::AvlTree, WorkloadKind::BTree,
+                          WorkloadKind::RbTree)),
+    [](const ::testing::TestParamInfo<SchemeWorkload> &info) {
+        std::string name = toString(std::get<0>(info.param));
+        for (char &c : name) {
+            if (c == '+')
+                c = '_';
+        }
+        return name + "_" +
+               std::string(toString(std::get<1>(info.param)));
+    });
+
+TEST(SystemIntegration2, ProteusDropsMostLogWrites)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = LogScheme::Proteus;
+    FullSystem system(cfg, WorkloadKind::HashMap, tinyParams());
+    const RunResult result = system.run(500'000'000ull);
+    ASSERT_TRUE(result.finished);
+    EXPECT_GT(result.logWritesDropped, 0u);
+}
+
+TEST(SystemIntegration2, LltMissRateInPaperBallpark)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = LogScheme::Proteus;
+    WorkloadParams p = tinyParams();
+    p.scale = 200;
+    FullSystem system(cfg, WorkloadKind::Queue, p);
+    const RunResult result = system.run(500'000'000ull);
+    ASSERT_TRUE(result.finished);
+    // Table 4 reports 22.5%-51.6%; allow generous slack.
+    EXPECT_GT(result.lltMissRate, 0.05);
+    EXPECT_LT(result.lltMissRate, 0.95);
+}
+
+TEST(SystemIntegration2, SlowNvmIsSlower)
+{
+    WorkloadParams p = tinyParams();
+    SystemConfig fast = baselineConfig();
+    fast.logging.scheme = LogScheme::Proteus;
+    FullSystem fast_sys(fast, WorkloadKind::Queue, p);
+    const auto fast_result = fast_sys.run(500'000'000ull);
+
+    SystemConfig slow = slowNvmConfig();
+    slow.logging.scheme = LogScheme::Proteus;
+    FullSystem slow_sys(slow, WorkloadKind::Queue, p);
+    const auto slow_result = slow_sys.run(500'000'000ull);
+
+    ASSERT_TRUE(fast_result.finished && slow_result.finished);
+    EXPECT_GT(slow_result.cycles, fast_result.cycles);
+}
+
+TEST(SystemIntegration2, ThreadCountAboveCoresIsFatal)
+{
+    SystemConfig cfg = baselineConfig();
+    cfg.cores = 1;
+    WorkloadParams p = tinyParams();
+    p.threads = 2;
+    EXPECT_THROW(FullSystem(cfg, WorkloadKind::Queue, p), FatalError);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * proteus-sim: the command-line front end to the simulator.
+ *
+ *   proteus-sim run   <workload> [--scheme S] [--stats] [--json]
+ *   proteus-sim crash <workload> [--scheme S] [--at PERCENT]
+ *   proteus-sim list
+ *
+ * plus the shared options every harness binary takes: --scale,
+ * --init-scale, --threads, --seed, --dram, --set key=value.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiments.hh"
+#include "harness/system.hh"
+#include "recovery/recovery.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+namespace {
+
+int
+usage()
+{
+    std::cout
+        << "usage: proteus_sim <command> [args]\n\n"
+        << "commands:\n"
+        << "  run <workload>     simulate one workload to completion\n"
+        << "  crash <workload>   crash partway, recover, validate\n"
+        << "  list               show workloads and schemes\n\n"
+        << "options (run/crash):\n"
+        << "  --scheme S         pmem | pmem+pcommit | pmem+nolog |\n"
+        << "                     atom | proteus | proteus+nolwr\n"
+        << "  --at PERCENT       crash point as %% of the full run "
+        << "(crash; default 50)\n"
+        << "  --stats            dump the full statistics registry\n"
+        << "  --json             dump statistics as JSON\n"
+        << "  --scale N          divide Table 2 SimOps (default 200)\n"
+        << "  --init-scale N     divide Table 2 InitOps (default 1)\n"
+        << "  --threads N        simulated cores (default 4)\n"
+        << "  --seed N           workload RNG seed\n"
+        << "  --dram             DRAM timing (Section 7.2)\n"
+        << "  --set k=v          config override\n";
+    return 2;
+}
+
+/** Options the harness parser does not know about. */
+struct CliExtras
+{
+    LogScheme scheme = LogScheme::Proteus;
+    unsigned crashPercent = 50;
+    bool stats = false;
+    bool json = false;
+};
+
+/** Strip CLI-only flags, leaving argv for BenchOptions::parse. */
+CliExtras
+extractExtras(std::vector<char *> &args)
+{
+    CliExtras extras;
+    for (std::size_t i = 1; i < args.size();) {
+        const std::string arg = args[i];
+        auto take_value = [&](unsigned count) {
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() +
+                           static_cast<std::ptrdiff_t>(i + count));
+        };
+        if (arg == "--scheme" && i + 1 < args.size()) {
+            extras.scheme = parseScheme(args[i + 1]);
+            take_value(2);
+        } else if (arg == "--at" && i + 1 < args.size()) {
+            extras.crashPercent = static_cast<unsigned>(
+                std::stoul(args[i + 1]));
+            take_value(2);
+        } else if (arg == "--stats") {
+            extras.stats = true;
+            take_value(1);
+        } else if (arg == "--json") {
+            extras.json = true;
+            take_value(1);
+        } else {
+            ++i;
+        }
+    }
+    return extras;
+}
+
+void
+printSummary(const RunResult &r)
+{
+    std::cout << "finished:           "
+              << (r.finished ? "yes" : "NO (cycle limit)") << "\n"
+              << "cycles:             " << r.cycles << "\n"
+              << "micro-ops retired:  " << r.retiredOps << "\n"
+              << "transactions:       " << r.committedTxs << "\n"
+              << "NVM writes:         " << r.nvmWrites << "\n"
+              << "NVM reads:          " << r.nvmReads << "\n"
+              << "log writes dropped: " << r.logWritesDropped << "\n"
+              << "frontend stalls:    " << r.frontendStallCycles
+              << "\n"
+              << "LLT miss rate:      "
+              << TablePrinter::fmt(100.0 * r.lltMissRate, 1) << "%\n";
+}
+
+int
+cmdList()
+{
+    std::cout << "workloads (Table 2 + the Table 3 microbenchmark):\n";
+    for (WorkloadKind w : allPaperWorkloads())
+        std::cout << "  " << toString(w) << "\n";
+    std::cout << "  LL (linked-list large transactions)\n\n"
+              << "schemes (Figure 6):\n";
+    for (LogScheme s :
+         {LogScheme::PMEM, LogScheme::PMEMPCommit,
+          LogScheme::PMEMNoLog, LogScheme::ATOM, LogScheme::Proteus,
+          LogScheme::ProteusNoLWR}) {
+        std::cout << "  " << toString(s) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(WorkloadKind kind, const CliExtras &extras,
+       const BenchOptions &opts)
+{
+    SystemConfig cfg = opts.makeConfig();
+    cfg.logging.scheme = extras.scheme;
+    cfg.memCtrl.adr = extras.scheme != LogScheme::PMEMPCommit;
+
+    WorkloadParams params;
+    params.threads = opts.threads;
+    params.scale = opts.scale;
+    params.initScale = opts.initScale;
+    params.seed = opts.seed;
+
+    std::cout << "running " << toString(kind) << " under "
+              << toString(extras.scheme) << " (" << params.threads
+              << " cores)...\n";
+    FullSystem system(cfg, kind, params);
+    const RunResult r = system.run();
+    printSummary(r);
+
+    const std::string err = system.workload().checkInvariants(
+        system.heap().volatileImage());
+    std::cout << "invariants:         "
+              << (err.empty() ? "OK" : err) << "\n";
+    if (extras.json)
+        system.sim().statsRegistry().dumpJson(std::cout);
+    else if (extras.stats)
+        system.sim().statsRegistry().dump(std::cout);
+    return r.finished && err.empty() ? 0 : 1;
+}
+
+int
+cmdCrash(WorkloadKind kind, const CliExtras &extras,
+         const BenchOptions &opts)
+{
+    SystemConfig cfg = opts.makeConfig();
+    cfg.logging.scheme = extras.scheme;
+    cfg.memCtrl.adr = extras.scheme != LogScheme::PMEMPCommit;
+    if (extras.scheme == LogScheme::PMEMNoLog)
+        fatal("pmem+nolog is not failure-safe; nothing to recover");
+
+    WorkloadParams params;
+    params.threads = opts.threads;
+    params.scale = opts.scale;
+    params.initScale = opts.initScale;
+    params.seed = opts.seed;
+
+    std::cout << "measuring the full run...\n";
+    FullSystem full(cfg, kind, params);
+    const RunResult complete = full.run();
+    const Tick crash_at =
+        complete.cycles * extras.crashPercent / 100;
+
+    std::cout << "crashing at cycle " << crash_at << " ("
+              << extras.crashPercent << "% of " << complete.cycles
+              << ")...\n";
+    FullSystem sys(cfg, kind, params);
+    sys.runFor(crash_at);
+    MemoryImage image = sys.crashImage();
+
+    std::uint64_t committed = 0;
+    for (unsigned t = 0; t < sys.coreCount(); ++t)
+        committed += sys.core(t).committedTxs().size();
+    std::cout << "committed transactions at crash: " << committed
+              << "\n";
+
+    for (unsigned t = 0; t < sys.coreCount(); ++t) {
+        TraceBuilder &tb = sys.workload().builder(t);
+        RecoveryResult rec;
+        switch (extras.scheme) {
+          case LogScheme::PMEM:
+          case LogScheme::PMEMPCommit:
+            rec = Recovery::recoverSoftware(image, tb.logAreaStart(),
+                                            tb.logAreaEnd(),
+                                            tb.logFlagAddr());
+            break;
+          case LogScheme::ATOM: {
+            const auto [start, end] = sys.atomLogArea(t);
+            rec = Recovery::recoverAtom(image, start, end);
+            break;
+          }
+          default:
+            rec = Recovery::recoverProteus(image, tb.logAreaStart(),
+                                           tb.logAreaEnd());
+            break;
+        }
+        std::cout << "  thread " << t << ": "
+                  << (rec.didUndo ? "rolled back one transaction"
+                                  : "nothing in flight")
+                  << " (" << rec.entriesApplied << " entries)\n";
+    }
+
+    const std::string err = sys.workload().checkInvariants(image);
+    std::cout << "invariants after recovery: "
+              << (err.empty() ? "OK" : err) << "\n";
+    return err.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "--help" || command == "-h")
+        return usage();
+    if (command != "run" && command != "crash") {
+        std::cerr << "unknown command: " << command << "\n";
+        return usage();
+    }
+    if (argc < 3) {
+        std::cerr << command << " requires a workload\n";
+        return usage();
+    }
+
+    try {
+        const WorkloadKind kind = parseWorkload(argv[2]);
+        std::vector<char *> args;
+        args.push_back(argv[0]);
+        for (int i = 3; i < argc; ++i)
+            args.push_back(argv[i]);
+        const CliExtras extras = extractExtras(args);
+        const BenchOptions opts = BenchOptions::parse(
+            static_cast<int>(args.size()), args.data());
+        return command == "run" ? cmdRun(kind, extras, opts)
+                                : cmdCrash(kind, extras, opts);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
