@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_llt"
+  "../bench/ablation_llt.pdb"
+  "CMakeFiles/ablation_llt.dir/ablation_llt.cc.o"
+  "CMakeFiles/ablation_llt.dir/ablation_llt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lwr"
+  "../bench/ablation_lwr.pdb"
+  "CMakeFiles/ablation_lwr.dir/ablation_lwr.cc.o"
+  "CMakeFiles/ablation_lwr.dir/ablation_lwr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

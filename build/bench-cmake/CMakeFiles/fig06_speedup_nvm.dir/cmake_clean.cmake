@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_speedup_nvm"
+  "../bench/fig06_speedup_nvm.pdb"
+  "CMakeFiles/fig06_speedup_nvm.dir/fig06_speedup_nvm.cc.o"
+  "CMakeFiles/fig06_speedup_nvm.dir/fig06_speedup_nvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_frontend_stalls"
+  "../bench/fig07_frontend_stalls.pdb"
+  "CMakeFiles/fig07_frontend_stalls.dir/fig07_frontend_stalls.cc.o"
+  "CMakeFiles/fig07_frontend_stalls.dir/fig07_frontend_stalls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_frontend_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_frontend_stalls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_nvm_writes"
+  "../bench/fig08_nvm_writes.pdb"
+  "CMakeFiles/fig08_nvm_writes.dir/fig08_nvm_writes.cc.o"
+  "CMakeFiles/fig08_nvm_writes.dir/fig08_nvm_writes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nvm_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_slow_nvm"
+  "../bench/fig09_slow_nvm.pdb"
+  "CMakeFiles/fig09_slow_nvm.dir/fig09_slow_nvm.cc.o"
+  "CMakeFiles/fig09_slow_nvm.dir/fig09_slow_nvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_slow_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_dram"
+  "../bench/fig10_dram.pdb"
+  "CMakeFiles/fig10_dram.dir/fig10_dram.cc.o"
+  "CMakeFiles/fig10_dram.dir/fig10_dram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

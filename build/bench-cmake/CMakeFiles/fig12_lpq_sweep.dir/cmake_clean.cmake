@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_lpq_sweep"
+  "../bench/fig12_lpq_sweep.pdb"
+  "CMakeFiles/fig12_lpq_sweep.dir/fig12_lpq_sweep.cc.o"
+  "CMakeFiles/fig12_lpq_sweep.dir/fig12_lpq_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lpq_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_large_tx"
+  "../bench/table3_large_tx.pdb"
+  "CMakeFiles/table3_large_tx.dir/table3_large_tx.cc.o"
+  "CMakeFiles/table3_large_tx.dir/table3_large_tx.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_large_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

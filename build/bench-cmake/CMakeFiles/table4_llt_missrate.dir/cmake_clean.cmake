@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_llt_missrate"
+  "../bench/table4_llt_missrate.pdb"
+  "CMakeFiles/table4_llt_missrate.dir/table4_llt_missrate.cc.o"
+  "CMakeFiles/table4_llt_missrate.dir/table4_llt_missrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_llt_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

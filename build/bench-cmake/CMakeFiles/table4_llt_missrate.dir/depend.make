@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_llt_missrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_workload.cpp" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o" "gcc" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/proteus_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/proteus_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/proteus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/proteus_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/proteus_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/proteus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/proteus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/proteus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/proteus_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/proteus_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/proteus_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("isa")
+subdirs("heap")
+subdirs("dram")
+subdirs("memctrl")
+subdirs("cache")
+subdirs("logging")
+subdirs("cpu")
+subdirs("trace")
+subdirs("workloads")
+subdirs("recovery")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_cache.dir/cache_array.cc.o"
+  "CMakeFiles/proteus_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/proteus_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/proteus_cache.dir/hierarchy.cc.o.d"
+  "libproteus_cache.a"
+  "libproteus_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/proteus_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/proteus_cpu.dir/core.cc.o"
+  "CMakeFiles/proteus_cpu.dir/core.cc.o.d"
+  "CMakeFiles/proteus_cpu.dir/lock_manager.cc.o"
+  "CMakeFiles/proteus_cpu.dir/lock_manager.cc.o.d"
+  "libproteus_cpu.a"
+  "libproteus_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

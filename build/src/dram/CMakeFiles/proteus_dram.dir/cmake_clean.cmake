@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_dram.dir/nvm_timing.cc.o"
+  "CMakeFiles/proteus_dram.dir/nvm_timing.cc.o.d"
+  "libproteus_dram.a"
+  "libproteus_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_harness.dir/experiments.cc.o"
+  "CMakeFiles/proteus_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/proteus_harness.dir/system.cc.o"
+  "CMakeFiles/proteus_harness.dir/system.cc.o.d"
+  "libproteus_harness.a"
+  "libproteus_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

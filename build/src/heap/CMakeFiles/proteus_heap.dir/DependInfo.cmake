@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/memory_image.cc" "src/heap/CMakeFiles/proteus_heap.dir/memory_image.cc.o" "gcc" "src/heap/CMakeFiles/proteus_heap.dir/memory_image.cc.o.d"
+  "/root/repo/src/heap/persistent_heap.cc" "src/heap/CMakeFiles/proteus_heap.dir/persistent_heap.cc.o" "gcc" "src/heap/CMakeFiles/proteus_heap.dir/persistent_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

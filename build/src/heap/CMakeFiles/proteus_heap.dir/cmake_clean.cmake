@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_heap.dir/memory_image.cc.o"
+  "CMakeFiles/proteus_heap.dir/memory_image.cc.o.d"
+  "CMakeFiles/proteus_heap.dir/persistent_heap.cc.o"
+  "CMakeFiles/proteus_heap.dir/persistent_heap.cc.o.d"
+  "libproteus_heap.a"
+  "libproteus_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/micro_op.cc" "src/isa/CMakeFiles/proteus_isa.dir/micro_op.cc.o" "gcc" "src/isa/CMakeFiles/proteus_isa.dir/micro_op.cc.o.d"
+  "/root/repo/src/isa/trace.cc" "src/isa/CMakeFiles/proteus_isa.dir/trace.cc.o" "gcc" "src/isa/CMakeFiles/proteus_isa.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_isa.dir/micro_op.cc.o"
+  "CMakeFiles/proteus_isa.dir/micro_op.cc.o.d"
+  "CMakeFiles/proteus_isa.dir/trace.cc.o"
+  "CMakeFiles/proteus_isa.dir/trace.cc.o.d"
+  "libproteus_isa.a"
+  "libproteus_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logging/llt.cc" "src/logging/CMakeFiles/proteus_logging.dir/llt.cc.o" "gcc" "src/logging/CMakeFiles/proteus_logging.dir/llt.cc.o.d"
+  "/root/repo/src/logging/log_queue.cc" "src/logging/CMakeFiles/proteus_logging.dir/log_queue.cc.o" "gcc" "src/logging/CMakeFiles/proteus_logging.dir/log_queue.cc.o.d"
+  "/root/repo/src/logging/log_record.cc" "src/logging/CMakeFiles/proteus_logging.dir/log_record.cc.o" "gcc" "src/logging/CMakeFiles/proteus_logging.dir/log_record.cc.o.d"
+  "/root/repo/src/logging/tx_context.cc" "src/logging/CMakeFiles/proteus_logging.dir/tx_context.cc.o" "gcc" "src/logging/CMakeFiles/proteus_logging.dir/tx_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

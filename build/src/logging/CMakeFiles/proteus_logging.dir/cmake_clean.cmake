@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_logging.dir/llt.cc.o"
+  "CMakeFiles/proteus_logging.dir/llt.cc.o.d"
+  "CMakeFiles/proteus_logging.dir/log_queue.cc.o"
+  "CMakeFiles/proteus_logging.dir/log_queue.cc.o.d"
+  "CMakeFiles/proteus_logging.dir/log_record.cc.o"
+  "CMakeFiles/proteus_logging.dir/log_record.cc.o.d"
+  "CMakeFiles/proteus_logging.dir/tx_context.cc.o"
+  "CMakeFiles/proteus_logging.dir/tx_context.cc.o.d"
+  "libproteus_logging.a"
+  "libproteus_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_memctrl.dir/mem_ctrl.cc.o"
+  "CMakeFiles/proteus_memctrl.dir/mem_ctrl.cc.o.d"
+  "libproteus_memctrl.a"
+  "libproteus_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_recovery.dir/recovery.cc.o"
+  "CMakeFiles/proteus_recovery.dir/recovery.cc.o.d"
+  "libproteus_recovery.a"
+  "libproteus_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_sim.dir/config.cc.o"
+  "CMakeFiles/proteus_sim.dir/config.cc.o.d"
+  "CMakeFiles/proteus_sim.dir/event_queue.cc.o"
+  "CMakeFiles/proteus_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/proteus_sim.dir/logging.cc.o"
+  "CMakeFiles/proteus_sim.dir/logging.cc.o.d"
+  "CMakeFiles/proteus_sim.dir/random.cc.o"
+  "CMakeFiles/proteus_sim.dir/random.cc.o.d"
+  "CMakeFiles/proteus_sim.dir/simulator.cc.o"
+  "CMakeFiles/proteus_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/proteus_sim.dir/stats.cc.o"
+  "CMakeFiles/proteus_sim.dir/stats.cc.o.d"
+  "libproteus_sim.a"
+  "libproteus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

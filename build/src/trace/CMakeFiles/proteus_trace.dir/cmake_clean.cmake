@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_trace.dir/trace_builder.cc.o"
+  "CMakeFiles/proteus_trace.dir/trace_builder.cc.o.d"
+  "libproteus_trace.a"
+  "libproteus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

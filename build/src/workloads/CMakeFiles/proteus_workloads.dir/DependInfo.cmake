@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/avltree_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/avltree_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/avltree_wl.cc.o.d"
+  "/root/repo/src/workloads/btree_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/btree_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/btree_wl.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/hashmap_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/hashmap_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/hashmap_wl.cc.o.d"
+  "/root/repo/src/workloads/linkedlist_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/linkedlist_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/linkedlist_wl.cc.o.d"
+  "/root/repo/src/workloads/queue_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/queue_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/queue_wl.cc.o.d"
+  "/root/repo/src/workloads/rbtree_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/rbtree_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/rbtree_wl.cc.o.d"
+  "/root/repo/src/workloads/stringswap_wl.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/stringswap_wl.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/stringswap_wl.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/proteus_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/proteus_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/proteus_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/proteus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/proteus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/proteus_logging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_workloads.dir/avltree_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/avltree_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/btree_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/btree_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/factory.cc.o"
+  "CMakeFiles/proteus_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/hashmap_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/hashmap_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/linkedlist_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/linkedlist_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/queue_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/queue_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/rbtree_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/rbtree_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/stringswap_wl.cc.o"
+  "CMakeFiles/proteus_workloads.dir/stringswap_wl.cc.o.d"
+  "CMakeFiles/proteus_workloads.dir/workload.cc.o"
+  "CMakeFiles/proteus_workloads.dir/workload.cc.o.d"
+  "libproteus_workloads.a"
+  "libproteus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

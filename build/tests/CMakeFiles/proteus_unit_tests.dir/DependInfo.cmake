@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cli_stats.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_cli_stats.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_cli_stats.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_heap.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_heap.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_heap.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_llt.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_llt.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_llt.cc.o.d"
+  "/root/repo/tests/test_lock_manager.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_lock_manager.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_lock_manager.cc.o.d"
+  "/root/repo/tests/test_log_queue.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_log_queue.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_log_queue.cc.o.d"
+  "/root/repo/tests/test_log_record.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_log_record.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_log_record.cc.o.d"
+  "/root/repo/tests/test_mem_ctrl.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_mem_ctrl.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_mem_ctrl.cc.o.d"
+  "/root/repo/tests/test_memory_image.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_memory_image.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_memory_image.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_recovery.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_recovery.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_recovery.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace_builder.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_trace_builder.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_trace_builder.cc.o.d"
+  "/root/repo/tests/test_tx_context.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_tx_context.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_tx_context.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/proteus_unit_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/proteus_unit_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/proteus_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/proteus_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/proteus_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/proteus_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/proteus_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/proteus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/proteus_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/proteus_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/proteus_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/proteus_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/proteus_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_sim_cli.dir/proteus_sim.cc.o"
+  "CMakeFiles/proteus_sim_cli.dir/proteus_sim.cc.o.d"
+  "proteus-sim"
+  "proteus-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
