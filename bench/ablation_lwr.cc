@@ -17,18 +17,28 @@ main(int argc, char **argv)
               << "scale=" << opts.scale << " threads=" << opts.threads
               << "\n\n";
 
+    const auto workloads = allPaperWorkloads();
+    std::vector<SimJob> jobs;
+    for (WorkloadKind w : workloads) {
+        jobs.push_back(SimJob{opts.makeConfig(), LogScheme::Proteus, w,
+                              {}, bench::jobLabel(LogScheme::Proteus, w)});
+        jobs.push_back(SimJob{opts.makeConfig(), LogScheme::ProteusNoLWR,
+                              w,
+                              {},
+                              bench::jobLabel(LogScheme::ProteusNoLWR,
+                                              w)});
+    }
+    const auto results = bench::runBatch(opts, jobs);
+
     TablePrinter table({"benchmark", "speedup", "writes x", "dropped"});
     std::cout << "Proteus relative to Proteus+NoLWR\n";
     table.printHeader(std::cout);
-    for (WorkloadKind w : allPaperWorkloads()) {
-        std::cerr << "  running " << toString(w) << "...\n";
-        const RunResult lwr = runExperiment(
-            opts.makeConfig(), LogScheme::Proteus, w, opts);
-        const RunResult nolwr = runExperiment(
-            opts.makeConfig(), LogScheme::ProteusNoLWR, w, opts);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult &lwr = results[2 * i].result;
+        const RunResult &nolwr = results[2 * i + 1].result;
         table.printRow(
             std::cout,
-            {toString(w),
+            {toString(workloads[i]),
              TablePrinter::fmt(static_cast<double>(nolwr.cycles) /
                                lwr.cycles),
              TablePrinter::fmt(static_cast<double>(lwr.nvmWrites) /

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/experiments.hh"
+#include "harness/parallel_runner.hh"
 
 namespace proteus {
 namespace bench {
@@ -30,6 +31,7 @@ struct Matrix
 {
     std::vector<WorkloadKind> workloads;
     std::map<LogScheme, std::vector<RunResult>> results;
+    std::map<LogScheme, std::vector<double>> wallMs;
 
     const RunResult &
     at(LogScheme s, std::size_t w) const
@@ -38,19 +40,62 @@ struct Matrix
     }
 };
 
-/** Run every (scheme, workload) pair with shared options. */
+/** Progress label for one (scheme, workload) job. */
+inline std::string
+jobLabel(LogScheme s, WorkloadKind w)
+{
+    return std::string(toString(s)) + " / " + toString(w);
+}
+
+/** Run a batch of jobs on opts.jobs worker threads with serialized
+ *  progress reporting; results come back in submission order. Also
+ *  honors --json by writing one result row per job. */
+inline std::vector<SimJobResult>
+runBatch(const BenchOptions &opts, const std::vector<SimJob> &jobs)
+{
+    ParallelRunner runner(opts.jobs);
+    ProgressReporter progress(std::cerr);
+    const auto results = runner.run(jobs, opts, &progress);
+
+    if (!opts.jsonPath.empty()) {
+        std::vector<JsonResultRow> rows;
+        rows.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            rows.push_back(JsonResultRow{toString(jobs[i].scheme),
+                                         toString(jobs[i].kind),
+                                         results[i].result,
+                                         results[i].wallMs});
+        writeJsonResults(opts.jsonPath, rows);
+    }
+    return results;
+}
+
+/**
+ * Run every (scheme, workload) pair with shared options, opts.jobs
+ * pairs concurrently. Each pair is an independent FullSystem, so the
+ * matrix is identical to a sequential sweep at any job count.
+ */
 inline Matrix
 runMatrix(const BenchOptions &opts, const std::vector<LogScheme> &schemes,
           const std::vector<WorkloadKind> &workloads)
 {
+    std::vector<SimJob> jobs;
+    jobs.reserve(schemes.size() * workloads.size());
+    for (LogScheme s : schemes) {
+        for (WorkloadKind w : workloads)
+            jobs.push_back(SimJob{opts.makeConfig(), s, w, {},
+                                  jobLabel(s, w)});
+    }
+    const auto outcomes = runBatch(opts, jobs);
+
     Matrix m;
     m.workloads = workloads;
+    std::size_t i = 0;
     for (LogScheme s : schemes) {
         for (WorkloadKind w : workloads) {
-            std::cerr << "  running " << toString(s) << " / "
-                      << toString(w) << "...\n";
-            m.results[s].push_back(
-                runExperiment(opts.makeConfig(), s, w, opts));
+            m.results[s].push_back(outcomes[i].result);
+            m.wallMs[s].push_back(outcomes[i].wallMs);
+            ++i;
         }
     }
     return m;

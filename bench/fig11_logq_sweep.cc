@@ -23,15 +23,25 @@ main(int argc, char **argv)
               << "\n";
 
     const auto workloads = allPaperWorkloads();
+    const std::vector<unsigned> logqs{1u, 2u, 4u, 8u, 16u, 32u, 64u};
 
-    // Per-workload PMEM baselines, shared across the sweep.
-    std::vector<double> base;
+    // One batch: per-workload PMEM baselines, then the whole sweep.
+    std::vector<SimJob> jobs;
     for (WorkloadKind w : workloads) {
-        std::cerr << "  baseline PMEM / " << toString(w) << "...\n";
-        base.push_back(static_cast<double>(
-            runExperiment(opts.makeConfig(), LogScheme::PMEM, w, opts)
-                .cycles));
+        jobs.push_back(SimJob{opts.makeConfig(), LogScheme::PMEM, w, {},
+                              std::string("baseline PMEM / ") +
+                                  toString(w)});
     }
+    for (unsigned logq : logqs) {
+        for (WorkloadKind w : workloads) {
+            SystemConfig cfg = opts.makeConfig();
+            cfg.logging.logQEntries = logq;
+            jobs.push_back(SimJob{cfg, LogScheme::Proteus, w, {},
+                                  "LogQ=" + std::to_string(logq) +
+                                      " / " + toString(w)});
+        }
+    }
+    const auto results = bench::runBatch(opts, jobs);
 
     std::vector<std::string> cols{"LogQ"};
     for (WorkloadKind w : workloads)
@@ -41,17 +51,15 @@ main(int argc, char **argv)
     std::cout << "\nProteus speedup over PMEM (paper Figure 11)\n";
     table.printHeader(std::cout);
 
-    for (unsigned logq : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-        std::vector<std::string> cells{std::to_string(logq)};
+    for (std::size_t q = 0; q < logqs.size(); ++q) {
+        std::vector<std::string> cells{std::to_string(logqs[q])};
         std::vector<double> speedups;
         for (std::size_t i = 0; i < workloads.size(); ++i) {
-            std::cerr << "  LogQ=" << logq << " / "
-                      << toString(workloads[i]) << "...\n";
-            SystemConfig cfg = opts.makeConfig();
-            cfg.logging.logQEntries = logq;
-            const RunResult r = runExperiment(
-                cfg, LogScheme::Proteus, workloads[i], opts);
-            const double s = base[i] / r.cycles;
+            const double base = static_cast<double>(
+                results[i].result.cycles);
+            const RunResult &r =
+                results[(q + 1) * workloads.size() + i].result;
+            const double s = base / r.cycles;
             speedups.push_back(s);
             cells.push_back(TablePrinter::fmt(s));
         }

@@ -22,13 +22,27 @@ main(int argc, char **argv)
               << "\n";
 
     const auto workloads = allPaperWorkloads();
-    std::vector<double> base;
+    const std::vector<unsigned> lpqs{8u, 16u, 32u, 64u, 128u, 256u,
+                                     512u};
+
+    // One batch: per-workload PMEM baselines, then the whole sweep.
+    std::vector<SimJob> jobs;
     for (WorkloadKind w : workloads) {
-        std::cerr << "  baseline PMEM / " << toString(w) << "...\n";
-        base.push_back(static_cast<double>(
-            runExperiment(opts.makeConfig(), LogScheme::PMEM, w, opts)
-                .cycles));
+        jobs.push_back(SimJob{opts.makeConfig(), LogScheme::PMEM, w, {},
+                              std::string("baseline PMEM / ") +
+                                  toString(w)});
     }
+    for (unsigned lpq : lpqs) {
+        for (WorkloadKind w : workloads) {
+            SystemConfig cfg = opts.makeConfig();
+            cfg.logging.logQEntries = 16;
+            cfg.memCtrl.lpqEntries = lpq;
+            jobs.push_back(SimJob{cfg, LogScheme::Proteus, w, {},
+                                  "LPQ=" + std::to_string(lpq) + " / " +
+                                      toString(w)});
+        }
+    }
+    const auto results = bench::runBatch(opts, jobs);
 
     std::vector<std::string> cols{"LPQ"};
     for (WorkloadKind w : workloads)
@@ -38,18 +52,15 @@ main(int argc, char **argv)
     std::cout << "\nProteus speedup over PMEM (paper Figure 12)\n";
     table.printHeader(std::cout);
 
-    for (unsigned lpq : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-        std::vector<std::string> cells{std::to_string(lpq)};
+    for (std::size_t q = 0; q < lpqs.size(); ++q) {
+        std::vector<std::string> cells{std::to_string(lpqs[q])};
         std::vector<double> speedups;
         for (std::size_t i = 0; i < workloads.size(); ++i) {
-            std::cerr << "  LPQ=" << lpq << " / "
-                      << toString(workloads[i]) << "...\n";
-            SystemConfig cfg = opts.makeConfig();
-            cfg.logging.logQEntries = 16;
-            cfg.memCtrl.lpqEntries = lpq;
-            const RunResult r = runExperiment(
-                cfg, LogScheme::Proteus, workloads[i], opts);
-            const double s = base[i] / r.cycles;
+            const double base = static_cast<double>(
+                results[i].result.cycles);
+            const RunResult &r =
+                results[(q + 1) * workloads.size() + i].result;
+            const double s = base / r.cycles;
             speedups.push_back(s);
             cells.push_back(TablePrinter::fmt(s));
         }

@@ -8,6 +8,7 @@
 
 #include "dram/nvm_timing.hh"
 #include "cache/cache_array.hh"
+#include "harness/system.hh"
 #include "heap/memory_image.hh"
 #include "logging/llt.hh"
 #include "sim/event_queue.hh"
@@ -104,6 +105,37 @@ BM_NvmTimingIssue(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NvmTimingIssue);
+
+/**
+ * Host cycles/sec of the whole timed simulation (functional setup
+ * excluded): build a FullSystem once per iteration, then time only the
+ * run() loop. Report simulated cycles as items so the tool prints
+ * sim-cycles per host-second.
+ */
+void
+BM_FullSystemTimedRun(benchmark::State &state)
+{
+    WorkloadParams params;
+    params.threads = 2;
+    params.scale = 500;
+    params.initScale = 100;
+    params.seed = 3;
+
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = baselineConfig();
+        cfg.logging.scheme = LogScheme::Proteus;
+        FullSystem system(cfg, WorkloadKind::BTree, params);
+        state.ResumeTiming();
+
+        const RunResult r = system.run(500'000'000ull);
+        cycles += r.cycles;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+    benchmark::DoNotOptimize(cycles);
+}
+BENCHMARK(BM_FullSystemTimedRun)->Unit(benchmark::kMillisecond);
 
 void
 BM_Xoshiro(benchmark::State &state)

@@ -25,27 +25,33 @@ main(int argc, char **argv)
                         "LLT miss", "dropped"});
     table.printHeader(std::cout);
 
-    for (unsigned elements : {1024u, 2048u, 4096u, 8192u}) {
+    const std::vector<unsigned> sizes{1024u, 2048u, 4096u, 8192u};
+    const std::vector<LogScheme> schemes{
+        LogScheme::PMEM, LogScheme::Proteus, LogScheme::PMEMNoLog};
+
+    std::vector<SimJob> jobs;
+    for (unsigned elements : sizes) {
         LinkedListOptions ll;
         ll.elementsPerNode = elements;
+        for (LogScheme s : schemes) {
+            jobs.push_back(SimJob{opts.makeConfig(), s,
+                                  WorkloadKind::LinkedList, ll,
+                                  "elements=" +
+                                      std::to_string(elements) + " " +
+                                      toString(s)});
+        }
+    }
+    const auto results = bench::runBatch(opts, jobs);
 
-        std::cerr << "  elements=" << elements << " PMEM...\n";
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
         const double base = static_cast<double>(
-            runExperiment(opts.makeConfig(), LogScheme::PMEM,
-                          WorkloadKind::LinkedList, opts, ll)
-                .cycles);
-        std::cerr << "  elements=" << elements << " Proteus...\n";
-        const RunResult proteus =
-            runExperiment(opts.makeConfig(), LogScheme::Proteus,
-                          WorkloadKind::LinkedList, opts, ll);
-        std::cerr << "  elements=" << elements << " nolog...\n";
-        const RunResult ideal =
-            runExperiment(opts.makeConfig(), LogScheme::PMEMNoLog,
-                          WorkloadKind::LinkedList, opts, ll);
+            results[i * schemes.size()].result.cycles);
+        const RunResult &proteus = results[i * schemes.size() + 1].result;
+        const RunResult &ideal = results[i * schemes.size() + 2].result;
 
         table.printRow(
             std::cout,
-            {std::to_string(elements),
+            {std::to_string(sizes[i]),
              TablePrinter::fmt(base / proteus.cycles),
              TablePrinter::fmt(base / ideal.cycles),
              TablePrinter::fmt(100.0 * proteus.lltMissRate, 1) + "%",

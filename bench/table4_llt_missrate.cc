@@ -24,17 +24,24 @@ main(int argc, char **argv)
         {"AT", 37.2}, {"BT", 36.1}, {"HM", 39.2},
         {"RT", 51.6}, {"SS", 24.5}, {"QE", 22.5}};
 
+    const auto workloads = allPaperWorkloads();
+    std::vector<SimJob> jobs;
+    for (WorkloadKind w : workloads) {
+        jobs.push_back(SimJob{opts.makeConfig(), LogScheme::Proteus, w,
+                              {}, toString(w)});
+    }
+    const auto results = bench::runBatch(opts, jobs);
+
     TablePrinter table({"benchmark", "miss rate", "paper"});
     table.printHeader(std::cout);
-    for (WorkloadKind w : allPaperWorkloads()) {
-        std::cerr << "  running " << toString(w) << "...\n";
-        const RunResult r = runExperiment(
-            opts.makeConfig(), LogScheme::Proteus, w, opts);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult &r = results[i].result;
         table.printRow(
             std::cout,
-            {toString(w),
+            {toString(workloads[i]),
              TablePrinter::fmt(100.0 * r.lltMissRate, 1) + "%",
-             TablePrinter::fmt(paper.at(toString(w)), 1) + "%"});
+             TablePrinter::fmt(paper.at(toString(workloads[i])), 1) +
+                 "%"});
     }
     return 0;
 }

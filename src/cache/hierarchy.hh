@@ -18,7 +18,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -158,7 +157,9 @@ class CacheHierarchy
     std::vector<std::unique_ptr<CacheArray>> _l2;
     std::unique_ptr<CacheArray> _l3;
 
-    std::map<Addr, DirEntry> _directory;
+    /** Block -> coherence state; looked up on every load/store/flush,
+     *  so hashed rather than tree-ordered. */
+    std::unordered_map<Addr, DirEntry> _directory;
     std::vector<std::unordered_map<Addr, Mshr>> _mshrs;
 
     std::vector<Link> _l2l3Links;   ///< per-core private path

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -27,6 +28,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.initScale = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--threads") {
             opts.threads = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--json") {
+            opts.jsonPath = next();
         } else if (arg == "--seed") {
             opts.seed = std::stoull(next());
         } else if (arg == "--dram") {
@@ -41,8 +46,12 @@ BenchOptions::parse(int argc, char **argv)
                 << "  --init-scale N divide Table 2 InitOps "
                 << "(working-set size; default 1 = paper)\n"
                 << "  --threads N    simulated cores (default 4)\n"
+                << "  --jobs N       host threads for batch runs "
+                << "(default: all cores)\n"
                 << "  --seed N       workload RNG seed\n"
                 << "  --dram         DRAM timing (Section 7.2)\n"
+                << "  --json FILE    write per-run results as JSON "
+                << "rows\n"
                 << "  --set k=v      config override, e.g. "
                 << "logging.logQEntries=8\n";
             std::exit(0);
@@ -81,6 +90,35 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
 
     FullSystem system(cfg, kind, params, ll_opts);
     return system.run();
+}
+
+void
+writeJsonResults(const std::string &path,
+                 const std::vector<JsonResultRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open --json output file: ", path);
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const JsonResultRow &row = rows[i];
+        const RunResult &r = row.result;
+        os << "  {\"scheme\": \"" << row.scheme << "\""
+           << ", \"workload\": \"" << row.workload << "\""
+           << ", \"finished\": " << (r.finished ? "true" : "false")
+           << ", \"cycles\": " << r.cycles
+           << ", \"retiredOps\": " << r.retiredOps
+           << ", \"nvmWrites\": " << r.nvmWrites
+           << ", \"nvmReads\": " << r.nvmReads
+           << ", \"committedTxs\": " << r.committedTxs
+           << ", \"logWritesDropped\": " << r.logWritesDropped
+           << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
+           << row.wallMs << std::defaultfloat << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    if (!os.flush())
+        fatal("failed writing --json output file: ", path);
 }
 
 double

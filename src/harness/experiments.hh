@@ -22,12 +22,15 @@ struct BenchOptions
     unsigned scale = 200;       ///< divide Table 2 SimOps
     unsigned initScale = 1;     ///< divide Table 2 InitOps (footprint)
     unsigned threads = 4;
+    unsigned jobs = 0;          ///< host worker threads; 0 = all cores
     std::uint64_t seed = 1;
     bool dram = false;          ///< use the Section 7.2 DRAM config
+    std::string jsonPath;       ///< write per-run JSON rows ("" = off)
     std::vector<std::string> overrides;
 
-    /** Parse argv; recognizes --scale N, --threads N, --seed N,
-     *  --dram, and --set key=value. Exits on --help. */
+    /** Parse argv; recognizes --scale N, --threads N, --jobs N,
+     *  --seed N, --dram, --json FILE, and --set key=value.
+     *  Exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Baseline config with the options applied. */
@@ -41,6 +44,23 @@ RunResult runExperiment(SystemConfig cfg, LogScheme scheme,
 
 /** Geometric mean of @p values (which must be positive). */
 double geomean(const std::vector<double> &values);
+
+/** One machine-readable result row for --json output. */
+struct JsonResultRow
+{
+    std::string scheme;
+    std::string workload;
+    RunResult result;
+    double wallMs = 0;      ///< host wall-clock of the whole run
+};
+
+/**
+ * Write @p rows as a JSON array to @p path so perf trajectories can be
+ * tracked across commits. Throws FatalError if the file cannot be
+ * written.
+ */
+void writeJsonResults(const std::string &path,
+                      const std::vector<JsonResultRow> &rows);
 
 /** Fixed-width table printer. */
 class TablePrinter

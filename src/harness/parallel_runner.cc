@@ -1,0 +1,95 @@
+#include "parallel_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace proteus {
+
+ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
+{
+}
+
+void
+ProgressReporter::line(const std::string &text)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _os << text << "\n";
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : _workers(jobs)
+{
+    if (_workers == 0) {
+        _workers = std::thread::hardware_concurrency();
+        if (_workers == 0)
+            _workers = 1;
+    }
+}
+
+std::vector<SimJobResult>
+ParallelRunner::run(const std::vector<SimJob> &batch,
+                    const BenchOptions &opts, ProgressReporter *progress)
+{
+    std::vector<SimJobResult> results(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+
+    // Jobs are claimed from a shared counter; results are written to
+    // the claimed index, so ordering is submission order no matter
+    // which worker finishes first.
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.size())
+                return;
+            const SimJob &job = batch[i];
+            if (progress)
+                progress->line("  running " + job.label + "...");
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                results[i].result = runExperiment(
+                    job.cfg, job.scheme, job.kind, opts, job.llOpts);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            results[i].wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (progress) {
+                std::ostringstream os;
+                os << "  done    " << job.label << " ("
+                   << static_cast<std::uint64_t>(results[i].wallMs)
+                   << " ms)";
+                progress->line(os.str());
+            }
+        }
+    };
+
+    const std::size_t pool =
+        std::min<std::size_t>(_workers, batch.size());
+    if (pool <= 1) {
+        // Sequential fast path: no thread overhead at --jobs 1 or for
+        // single-job batches.
+        work();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (std::size_t t = 0; t < pool; ++t)
+            threads.emplace_back(work);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+} // namespace proteus

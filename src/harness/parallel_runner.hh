@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed-size thread pool that runs batches of independent simulation
+ * jobs — one FullSystem per (SystemConfig, LogScheme, WorkloadKind)
+ * triple — concurrently.
+ *
+ * Every FullSystem is a self-contained deterministic machine (its own
+ * Simulator, stats registry, heap, and per-thread RNGs seeded from the
+ * job's config), so a batch is embarrassingly parallel. Results land in
+ * submission order regardless of completion order, which makes a run at
+ * --jobs N bit-identical to --jobs 1.
+ */
+
+#ifndef PROTEUS_HARNESS_PARALLEL_RUNNER_HH
+#define PROTEUS_HARNESS_PARALLEL_RUNNER_HH
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "experiments.hh"
+#include "system.hh"
+
+namespace proteus {
+
+/** One independent simulation to run. */
+struct SimJob
+{
+    SystemConfig cfg;
+    LogScheme scheme;
+    WorkloadKind kind;
+    LinkedListOptions llOpts{};
+    std::string label;          ///< progress text, e.g. "Proteus / QE"
+};
+
+/** Outcome of one job: simulated counters plus host wall-clock. */
+struct SimJobResult
+{
+    RunResult result;
+    double wallMs = 0;
+};
+
+/**
+ * Serializes progress lines from concurrent jobs so per-job start and
+ * finish messages never interleave mid-line.
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::ostream &os);
+
+    /** Print @p text plus a newline, atomically. */
+    void line(const std::string &text);
+
+  private:
+    std::mutex _mutex;
+    std::ostream &_os;
+};
+
+/** Fixed-size thread pool for batches of simulation jobs. */
+class ParallelRunner
+{
+  public:
+    /** @p jobs worker threads; 0 means hardware_concurrency. */
+    explicit ParallelRunner(unsigned jobs);
+
+    /** Worker threads a batch may use. */
+    unsigned workers() const { return _workers; }
+
+    /**
+     * Run @p batch to completion and return per-job results in
+     * submission order. @p opts supplies the workload parameters shared
+     * by every job (threads, scale, seed). The first job exception (in
+     * submission order) is rethrown after the batch drains.
+     */
+    std::vector<SimJobResult> run(const std::vector<SimJob> &batch,
+                                  const BenchOptions &opts,
+                                  ProgressReporter *progress = nullptr);
+
+  private:
+    unsigned _workers;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_HARNESS_PARALLEL_RUNNER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 #include "sim/logging.hh"
 
@@ -62,6 +63,17 @@ MemCtrl::MemCtrl(Simulator &sim, const SystemConfig &cfg, MemoryImage &nvm)
     _useLpq = scheme == LogScheme::Proteus ||
               scheme == LogScheme::ProteusNoLWR;
     _logWriteRemoval = scheme == LogScheme::Proteus;
+    ensureCore(cfg.cores ? cfg.cores - 1 : 0);
+}
+
+void
+MemCtrl::ensureCore(CoreId core)
+{
+    if (core >= _lastLog.size()) {
+        _lastLog.resize(core + 1);
+        _atomLogArea.resize(core + 1);
+        _coreFlushWaiters.resize(core + 1);
+    }
 }
 
 bool
@@ -117,7 +129,8 @@ MemCtrl::write(const WriteRequest &req)
         recordLogDurable(req.core, req.txId, logAlign(rec.fromAddr));
         if (req.kind == WriteKind::Log) {
             noteLogArrival(req.core, req.txId);
-            _lastLog[req.core] = {req.txId, req.addr};
+            ensureCore(req.core);
+            _lastLog[req.core] = LastLog{true, req.txId, req.addr};
         }
     } else {
         ++_writesAccepted;
@@ -171,13 +184,13 @@ MemCtrl::noteLogArrival(CoreId core, TxId tx)
 void
 MemCtrl::recordLogDurable(CoreId core, TxId tx, Addr granule)
 {
-    _durableLogs[{core, tx}].insert(granule);
+    _durableLogs[CoreTx{core, tx}].insert(granule);
 }
 
 bool
 MemCtrl::logGranuleDurable(CoreId core, TxId tx, Addr granule) const
 {
-    auto it = _durableLogs.find({core, tx});
+    auto it = _durableLogs.find(CoreTx{core, tx});
     return it != _durableLogs.end() &&
            it->second.count(logAlign(granule)) > 0;
 }
@@ -185,7 +198,7 @@ MemCtrl::logGranuleDurable(CoreId core, TxId tx, Addr granule) const
 void
 MemCtrl::txEnd(CoreId core, TxId tx)
 {
-    _durableLogs.erase({core, tx});
+    _durableLogs.erase(CoreTx{core, tx});
     if (!_useLpq)
         return;
 
@@ -231,16 +244,17 @@ MemCtrl::txEnd(CoreId core, TxId tx)
 
     // Every entry already spilled to NVM: update the last entry's
     // metadata in place so recovery can see the transaction committed.
-    auto last = _lastLog.find(core);
-    if (last != _lastLog.end() && last->second.first == tx) {
+    if (core < _lastLog.size() && _lastLog[core].valid &&
+        _lastLog[core].tx == tx) {
+        const LastLog &last = _lastLog[core];
         std::array<std::uint8_t, logEntrySize> bytes{};
-        _nvm.read(last->second.second, bytes.data(), bytes.size());
+        _nvm.read(last.addr, bytes.data(), bytes.size());
         LogRecord rec = LogRecord::fromBytes(bytes.data());
         rec.flags |= LogRecord::flagTxEnd;
 
         if (canAcceptWrite(WriteKind::Log)) {
             WriteRequest req;
-            req.addr = last->second.second;
+            req.addr = last.addr;
             req.kind = WriteKind::Log;
             req.core = core;
             req.txId = tx;
@@ -255,7 +269,7 @@ MemCtrl::txEnd(CoreId core, TxId tx)
             // Extremely rare; apply directly and charge a write.
             ++_markerWrites;
             const auto out = rec.toBytes();
-            _nvm.write(last->second.second, out.data(), out.size());
+            _nvm.write(last.addr, out.data(), out.size());
         }
     }
 }
@@ -265,8 +279,9 @@ MemCtrl::bindAtomLogArea(CoreId core, Addr start, Addr end)
 {
     if (end <= start + logEntrySize)
         fatal("MemCtrl: ATOM log area too small");
-    _atomLogArea[core] = {start, end};
-    _atomLogNext[core] = start + logEntrySize;  // block 0: commit record
+    ensureCore(core);
+    // Block 0 holds the commit record; entries start one block in.
+    _atomLogArea[core] = AtomLogArea{start, end, start + logEntrySize};
 }
 
 bool
@@ -274,11 +289,12 @@ MemCtrl::atomTxCommit(CoreId core, TxId tx)
 {
     if (!canAcceptWrite(WriteKind::Data))
         return false;
-    auto area = _atomLogArea.find(core);
-    if (area == _atomLogArea.end())
+    if (core >= _atomLogArea.size() ||
+        _atomLogArea[core].start == invalidAddr) {
         panic("MemCtrl::atomTxCommit without a bound log area");
+    }
     WriteRequest req;
-    req.addr = area->second.first;
+    req.addr = _atomLogArea[core].start;
     req.kind = WriteKind::Data;
     req.core = core;
     req.txId = tx;
@@ -295,15 +311,16 @@ MemCtrl::atomLog(CoreId core, TxId tx, const LogRecord &record)
         ++_atomLogRejects;
         return false;
     }
-    auto area = _atomLogArea.find(core);
-    if (area == _atomLogArea.end())
+    if (core >= _atomLogArea.size() ||
+        _atomLogArea[core].start == invalidAddr) {
         panic("MemCtrl::atomLog without a bound log area");
+    }
 
-    Addr &next = _atomLogNext[core];
-    const Addr slot = next;
-    next += logEntrySize;
-    if (next >= area->second.second)
-        next = area->second.first + logEntrySize;
+    AtomLogArea &area = _atomLogArea[core];
+    const Addr slot = area.next;
+    area.next += logEntrySize;
+    if (area.next >= area.end)
+        area.next = area.start + logEntrySize;
 
     WriteRequest req;
     req.addr = slot;
@@ -313,17 +330,17 @@ MemCtrl::atomLog(CoreId core, TxId tx, const LogRecord &record)
     req.data = record.toBytes();
     write(req);
 
-    _atomTx[{core, tx}].entries.push_back(slot);
+    _atomTx[CoreTx{core, tx}].entries.push_back(slot);
     return true;
 }
 
 void
 MemCtrl::atomTxEnd(CoreId core, TxId tx, std::function<void()> on_done)
 {
-    _durableLogs.erase({core, tx});
-    auto it = _atomTx.find({core, tx});
+    _durableLogs.erase(CoreTx{core, tx});
+    auto it = _atomTx.find(CoreTx{core, tx});
     if (it == _atomTx.end() || it->second.entries.empty()) {
-        _atomTx.erase({core, tx});
+        _atomTx.erase(CoreTx{core, tx});
         if (on_done)
             _sim.schedule(1, std::move(on_done));
         return;
@@ -337,7 +354,7 @@ MemCtrl::atomTxEnd(CoreId core, TxId tx, std::function<void()> on_done)
     const std::size_t tracked = std::min<std::size_t>(
         entries.size(), _cfg.logging.atomTruncationEntries);
     if (tracked == entries.size()) {
-        _atomTx.erase({core, tx});
+        _atomTx.erase(CoreTx{core, tx});
         if (on_done)
             _sim.schedule(1, std::move(on_done));
         return;
@@ -350,7 +367,7 @@ MemCtrl::atomTxEnd(CoreId core, TxId tx, std::function<void()> on_done)
     job.searchAddrs.assign(entries.begin() +
                                static_cast<std::ptrdiff_t>(tracked),
                            entries.end());
-    _atomTx.erase({core, tx});
+    _atomTx.erase(CoreTx{core, tx});
     _atomTruncations.push_back(std::move(job));
 }
 
@@ -436,7 +453,12 @@ MemCtrl::flushCoreLogs(CoreId core, std::function<void()> on_done)
         if (w.req.core == core)
             w.forced = true;
     }
-    _coreFlushWaiters[core] = std::move(on_done);
+    ensureCore(core);
+    if (on_done) {
+        if (!_coreFlushWaiters[core])
+            ++_coreFlushWaiterCount;
+        _coreFlushWaiters[core] = std::move(on_done);
+    }
 }
 
 bool
@@ -658,9 +680,11 @@ MemCtrl::checkDrainDone()
         }
     }
 
-    for (auto it = _coreFlushWaiters.begin();
-         it != _coreFlushWaiters.end();) {
-        const CoreId core = it->first;
+    if (_coreFlushWaiterCount == 0)
+        return;
+    for (CoreId core = 0; core < _coreFlushWaiters.size(); ++core) {
+        if (!_coreFlushWaiters[core])
+            continue;
         bool pending = _inflightLogs > 0;
         if (!pending) {
             for (const QueuedWrite &w : _lpq) {
@@ -671,12 +695,10 @@ MemCtrl::checkDrainDone()
             }
         }
         if (!pending) {
-            auto cb = std::move(it->second);
-            it = _coreFlushWaiters.erase(it);
-            if (cb)
-                cb();
-        } else {
-            ++it;
+            auto cb = std::move(_coreFlushWaiters[core]);
+            _coreFlushWaiters[core] = nullptr;
+            --_coreFlushWaiterCount;
+            cb();
         }
     }
 }
@@ -696,7 +718,7 @@ MemCtrl::tick(Tick now)
             tryIssueLog(now);
     }
 
-    if (!_drainWaiters.empty() || !_coreFlushWaiters.empty())
+    if (!_drainWaiters.empty() || _coreFlushWaiterCount > 0)
         checkDrainDone();
 }
 

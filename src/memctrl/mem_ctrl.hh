@@ -20,8 +20,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dram/nvm_timing.hh"
@@ -170,6 +171,41 @@ class MemCtrl : public Ticked
         std::vector<Addr> entries;
     };
 
+    /** Hash key for the per-transaction tracking tables; these are hit
+     *  on every accepted log write, so hashed rather than tree-ordered. */
+    struct CoreTx
+    {
+        CoreId core;
+        TxId tx;
+
+        bool
+        operator==(const CoreTx &o) const
+        {
+            return core == o.core && tx == o.tx;
+        }
+    };
+
+    struct CoreTxHash
+    {
+        std::size_t
+        operator()(const CoreTx &k) const
+        {
+            return static_cast<std::size_t>(
+                (k.tx * 0x9e3779b97f4a7c15ull) ^ k.core);
+        }
+    };
+
+    /** ATOM per-core hardware log region (start==invalidAddr: unbound). */
+    struct AtomLogArea
+    {
+        Addr start = invalidAddr;
+        Addr end = invalidAddr;
+        Addr next = invalidAddr;    ///< next entry slot (circular)
+    };
+
+    /** Grow the per-core tables to cover @p core. */
+    void ensureCore(CoreId core);
+
     bool tryIssueRead(Tick now);
     bool tryIssueWrite(Tick now);
     bool tryIssueLog(Tick now);
@@ -194,11 +230,12 @@ class MemCtrl : public Ticked
     unsigned _inflightReads = 0;
     unsigned _inflightWrites = 0;
     unsigned _inflightLogs = 0;
-    std::multiset<Addr> _inflightWriteAddrs;
+    std::unordered_multiset<Addr> _inflightWriteAddrs;
     /** Data of writes mid-flight to the array, by acceptance seq; the
-     *  battery preserves these on a crash just like queued entries. */
-    std::map<std::uint64_t,
-             std::pair<Addr, std::array<std::uint8_t, blockSize>>>
+     *  battery preserves these on a crash just like queued entries
+     *  (applyBatteryDrain re-sorts by seq). */
+    std::unordered_map<std::uint64_t,
+                       std::pair<Addr, std::array<std::uint8_t, blockSize>>>
         _inflightData;
     std::uint64_t _acceptSeq = 0;
     unsigned _atomLogsQueued = 0;
@@ -208,19 +245,27 @@ class MemCtrl : public Ticked
     std::vector<std::pair<std::uint64_t, std::function<void()>>>
         _drainWaiters;
     std::set<std::uint64_t> _inflightSeqs;
-    std::map<CoreId, std::function<void()>> _coreFlushWaiters;
+    /** Per-core context-switch flush waiter (empty: none pending). */
+    std::vector<std::function<void()>> _coreFlushWaiters;
+    unsigned _coreFlushWaiterCount = 0;
 
     /** Last accepted Proteus log entry per core: (tx, log-to address). */
-    std::map<CoreId, std::pair<TxId, Addr>> _lastLog;
+    struct LastLog
+    {
+        bool valid = false;
+        TxId tx = 0;
+        Addr addr = invalidAddr;
+    };
+    std::vector<LastLog> _lastLog;
 
     /** Durable log granules per (core, tx) for the ordering checker. */
-    std::map<std::pair<CoreId, TxId>, std::set<Addr>> _durableLogs;
+    std::unordered_map<CoreTx, std::unordered_set<Addr>, CoreTxHash>
+        _durableLogs;
 
     /// @name ATOM state
     /// @{
-    std::map<CoreId, std::pair<Addr, Addr>> _atomLogArea;
-    std::map<CoreId, Addr> _atomLogNext;
-    std::map<std::pair<CoreId, TxId>, AtomTxState> _atomTx;
+    std::vector<AtomLogArea> _atomLogArea;
+    std::unordered_map<CoreTx, AtomTxState, CoreTxHash> _atomTx;
     /** Outstanding truncation work: writes to enqueue as space allows. */
     struct AtomTruncation
     {

@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "logging.hh"
 
 namespace proteus {
@@ -9,31 +11,42 @@ EventQueue::schedule(Tick when, Callback cb)
 {
     if (!cb)
         panic("EventQueue::schedule: empty callback");
-    _heap.push(Entry{when, _nextSeq++, std::move(cb)});
+
+    std::uint32_t slot;
+    if (_freeSlots.empty()) {
+        slot = static_cast<std::uint32_t>(_slots.size());
+        _slots.push_back(std::move(cb));
+    } else {
+        slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _slots[slot] = std::move(cb);
+    }
+    _heap.push_back(Key{when, _nextSeq++, slot});
+    std::push_heap(_heap.begin(), _heap.end(), Later{});
 }
 
 void
-EventQueue::runUntil(Tick now)
+EventQueue::runDue(Tick now)
 {
-    while (!_heap.empty() && _heap.top().when <= now) {
-        // Copy out before pop so the callback may schedule new events.
-        Entry e = _heap.top();
-        _heap.pop();
-        e.cb();
+    while (!_heap.empty() && _heap.front().when <= now) {
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        const Key key = _heap.back();
+        _heap.pop_back();
+        // Move the callback out and free its slot before invoking: the
+        // callback may schedule new events, which may reuse the slot or
+        // reallocate the slot vector.
+        Callback cb = std::move(_slots[key.slot]);
+        _freeSlots.push_back(key.slot);
+        cb();
     }
-}
-
-Tick
-EventQueue::nextEventTick() const
-{
-    return _heap.empty() ? maxTick : _heap.top().when;
 }
 
 void
 EventQueue::clear()
 {
-    while (!_heap.empty())
-        _heap.pop();
+    _heap.clear();
+    _slots.clear();
+    _freeSlots.clear();
     _nextSeq = 0;
 }
 

@@ -3,6 +3,13 @@
  * Deterministic discrete-event queue used alongside the cycle-driven
  * component loop. Events scheduled for the same tick fire in scheduling
  * order (FIFO), which keeps multi-component interactions reproducible.
+ *
+ * Layout is optimized for the simulator's hot loop: the binary heap
+ * holds small POD keys (tick, seq, slot index) so sift operations never
+ * move std::function state, callbacks live in recycled slots so steady-
+ * state scheduling does not grow storage, and runUntil() is an inline
+ * two-compare no-op on the (overwhelmingly common) cycles where no
+ * event is due.
  */
 
 #ifndef PROTEUS_SIM_EVENT_QUEUE_HH
@@ -10,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "types.hh"
@@ -27,10 +33,20 @@ class EventQueue
     void schedule(Tick when, Callback cb);
 
     /** Run every event scheduled at or before @p now, in order. */
-    void runUntil(Tick now);
+    void
+    runUntil(Tick now)
+    {
+        if (_heap.empty() || _heap.front().when > now)
+            return;
+        runDue(now);
+    }
 
     /** @return tick of the earliest pending event, or maxTick if empty. */
-    Tick nextEventTick() const;
+    Tick
+    nextEventTick() const
+    {
+        return _heap.empty() ? maxTick : _heap.front().when;
+    }
 
     bool empty() const { return _heap.empty(); }
     std::size_t size() const { return _heap.size(); }
@@ -39,17 +55,18 @@ class EventQueue
     void clear();
 
   private:
-    struct Entry
+    /** Heap key; the callback lives in _slots[slot]. */
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Key &a, const Key &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -57,7 +74,12 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Out-of-line slow path: at least one event is due. */
+    void runDue(Tick now);
+
+    std::vector<Key> _heap;             ///< min-heap via std::push_heap
+    std::vector<Callback> _slots;       ///< callback storage, recycled
+    std::vector<std::uint32_t> _freeSlots;
     std::uint64_t _nextSeq = 0;
 };
 

@@ -1,20 +1,40 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace proteus {
 namespace detail {
 
-int &
+namespace {
+
+std::atomic<int> &
+verbosityLevel()
+{
+    static std::atomic<int> level{1};
+    return level;
+}
+
+std::mutex &
+emitMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
+
+int
 verbosity()
 {
-    static int level = 1;
-    return level;
+    return verbosityLevel().load(std::memory_order_relaxed);
 }
 
 void
 emit(const char *tag, const std::string &msg)
 {
+    const std::lock_guard<std::mutex> lock(emitMutex());
     std::cerr << tag << ": " << msg << "\n";
 }
 
@@ -23,7 +43,7 @@ emit(const char *tag, const std::string &msg)
 void
 setVerbosity(int level)
 {
-    detail::verbosity() = level;
+    detail::verbosityLevel().store(level, std::memory_order_relaxed);
 }
 
 } // namespace proteus

@@ -54,9 +54,12 @@ formatMessage(const Args &...args)
     return os.str();
 }
 
-/** Runtime-settable verbosity: 0 = silent, 1 = warn, 2 = inform. */
-int &verbosity();
+/** Runtime-settable verbosity: 0 = silent, 1 = warn, 2 = inform.
+ *  Safe to read concurrently from parallel simulation jobs. */
+int verbosity();
 
+/** Write one tagged line to stderr; serialized across threads so
+ *  concurrent jobs never interleave partial lines. */
 void emit(const char *tag, const std::string &msg);
 
 } // namespace detail

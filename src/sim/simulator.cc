@@ -19,15 +19,6 @@ Simulator::schedule(Tick delay, EventQueue::Callback cb)
 }
 
 void
-Simulator::stepOneCycle()
-{
-    _events.runUntil(_now);
-    for (Ticked *c : _components)
-        c->tick(_now);
-    ++_now;
-}
-
-void
 Simulator::run(Tick cycles)
 {
     _stopRequested = false;

@@ -68,7 +68,20 @@ class Simulator
     void requestStop() { _stopRequested = true; }
 
   private:
-    void stepOneCycle();
+    /**
+     * Advance one cycle. Inline so the run loops see the whole body;
+     * EventQueue::runUntil's inline fast path compares the cached
+     * next-due-event tick (heap front) and skips the queue entirely on
+     * idle cycles.
+     */
+    void
+    stepOneCycle()
+    {
+        _events.runUntil(_now);
+        for (Ticked *c : _components)
+            c->tick(_now);
+        ++_now;
+    }
 
     Tick _now = 0;
     bool _stopRequested = false;

@@ -2,8 +2,9 @@
  * @file
  * proteus-sim: the command-line front end to the simulator.
  *
- *   proteus-sim run   <workload> [--scheme S] [--stats] [--json]
- *   proteus-sim crash <workload> [--scheme S] [--at PERCENT]
+ *   proteus-sim run    <workload> [--scheme S] [--stats] [--json]
+ *   proteus-sim crash  <workload> [--scheme S] [--at PERCENT]
+ *   proteus-sim matrix [--jobs N] [--json FILE]
  *   proteus-sim list
  *
  * plus the shared options every harness binary takes: --scale,
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "harness/experiments.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/system.hh"
 #include "recovery/recovery.hh"
 #include "sim/logging.hh"
@@ -31,6 +33,7 @@ usage()
         << "commands:\n"
         << "  run <workload>     simulate one workload to completion\n"
         << "  crash <workload>   crash partway, recover, validate\n"
+        << "  matrix             every scheme x workload, in parallel\n"
         << "  list               show workloads and schemes\n\n"
         << "options (run/crash):\n"
         << "  --scheme S         pmem | pmem+pcommit | pmem+nolog |\n"
@@ -44,7 +47,10 @@ usage()
         << "  --threads N        simulated cores (default 4)\n"
         << "  --seed N           workload RNG seed\n"
         << "  --dram             DRAM timing (Section 7.2)\n"
-        << "  --set k=v          config override\n";
+        << "  --set k=v          config override\n\n"
+        << "options (matrix):\n"
+        << "  --jobs N           host worker threads (0 = all cores)\n"
+        << "  --json FILE        write per-run result rows as JSON\n";
     return 2;
 }
 
@@ -156,6 +162,54 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
 }
 
 int
+cmdMatrix(const BenchOptions &opts)
+{
+    const std::vector<LogScheme> schemes{
+        LogScheme::PMEM, LogScheme::PMEMPCommit, LogScheme::PMEMNoLog,
+        LogScheme::ATOM, LogScheme::Proteus, LogScheme::ProteusNoLWR};
+    const auto workloads = allPaperWorkloads();
+
+    std::vector<SimJob> jobs;
+    for (LogScheme s : schemes) {
+        for (WorkloadKind w : workloads)
+            jobs.push_back(SimJob{opts.makeConfig(), s, w, {},
+                                  std::string(toString(s)) + " / " +
+                                      toString(w)});
+    }
+
+    ParallelRunner runner(opts.jobs);
+    std::cout << "running " << jobs.size() << " simulations on "
+              << runner.workers() << " host thread(s)...\n";
+    ProgressReporter progress(std::cerr);
+    const auto results = runner.run(jobs, opts, &progress);
+
+    std::vector<std::string> cols{"scheme"};
+    for (WorkloadKind w : workloads)
+        cols.push_back(toString(w));
+    TablePrinter table(cols);
+    std::cout << "\ncycles per (scheme, workload)\n";
+    table.printHeader(std::cout);
+
+    std::vector<JsonResultRow> rows;
+    std::size_t i = 0;
+    bool all_finished = true;
+    for (LogScheme s : schemes) {
+        std::vector<std::string> cells{toString(s)};
+        for (WorkloadKind w : workloads) {
+            const SimJobResult &r = results[i++];
+            cells.push_back(std::to_string(r.result.cycles));
+            all_finished = all_finished && r.result.finished;
+            rows.push_back(JsonResultRow{toString(s), toString(w),
+                                         r.result, r.wallMs});
+        }
+        table.printRow(std::cout, cells);
+    }
+    if (!opts.jsonPath.empty())
+        writeJsonResults(opts.jsonPath, rows);
+    return all_finished ? 0 : 1;
+}
+
+int
 cmdCrash(WorkloadKind kind, const CliExtras &extras,
          const BenchOptions &opts)
 {
@@ -234,6 +288,19 @@ main(int argc, char **argv)
         return cmdList();
     if (command == "--help" || command == "-h")
         return usage();
+    if (command == "matrix") {
+        try {
+            std::vector<char *> args;
+            args.push_back(argv[0]);
+            for (int i = 2; i < argc; ++i)
+                args.push_back(argv[i]);
+            return cmdMatrix(BenchOptions::parse(
+                static_cast<int>(args.size()), args.data()));
+        } catch (const FatalError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    }
     if (command != "run" && command != "crash") {
         std::cerr << "unknown command: " << command << "\n";
         return usage();
