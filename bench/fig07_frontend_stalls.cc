@@ -53,5 +53,32 @@ main(int argc, char **argv)
               << "  Proteus stalls vs ideal: +"
               << TablePrinter::fmt(100.0 * (proteus_sum / n - 1.0), 1)
               << "%  (paper: +4%)\n";
+
+    // CPI stack: where commit slots went, as % of total core cycles,
+    // aggregated over the Table 2 workloads. Every cycle lands in
+    // exactly one bucket, so each row sums to 100%.
+    std::cout << "\nCPI stack (% of core cycles; one bucket per "
+              << "commit-slot cycle)\n";
+    TablePrinter cpi_table({"scheme", "base", "rob", "iq/lsq", "branch",
+                            "persist", "wpq", "lock"});
+    cpi_table.printHeader(std::cout);
+    for (const auto &[scheme, results] : matrix.results) {
+        CpiStack total;
+        for (const RunResult &r : results)
+            total += r.cpi;
+        const double cycles = static_cast<double>(total.total());
+        if (cycles <= 0)
+            continue;
+        auto pct = [&](std::uint64_t v) {
+            return TablePrinter::fmt(100.0 * v / cycles, 1);
+        };
+        cpi_table.printRow(std::cout,
+                           {toString(scheme), pct(total.base),
+                            pct(total.robFull), pct(total.iqLsqFull),
+                            pct(total.branchRedirect),
+                            pct(total.persistStall),
+                            pct(total.wpqBackpressure),
+                            pct(total.lockWait)});
+    }
     return 0;
 }

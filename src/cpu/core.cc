@@ -5,8 +5,24 @@
 
 #include "heap/persistent_heap.hh"
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
 
 namespace proteus {
+
+const char *
+toString(CommitBucket bucket)
+{
+    switch (bucket) {
+      case CommitBucket::Base:            return "base";
+      case CommitBucket::RobFull:         return "rob-full";
+      case CommitBucket::IqLsqFull:       return "iq-lsq-full";
+      case CommitBucket::BranchRedirect:  return "branch-redirect";
+      case CommitBucket::PersistStall:    return "persist-stall";
+      case CommitBucket::WpqBackpressure: return "wpq-backpressure";
+      case CommitBucket::LockWait:        return "lock-wait";
+    }
+    return "unknown";
+}
 
 namespace {
 
@@ -58,7 +74,23 @@ Core::Core(Simulator &sim, const SystemConfig &cfg, CoreId id,
       _sbOrderingStalls(sim.statsRegistry(), _name + ".sbOrderStalls",
                         "store buffer stalls on pending log flushes"),
       _committedTxStat(sim.statsRegistry(), _name + ".committedTxs",
-                       "durable transactions committed")
+                       "durable transactions committed"),
+      _cpiBase(sim.statsRegistry(), _name + ".cpi.base",
+               "commit slots: retiring, fill, or execution latency"),
+      _cpiRobFull(sim.statsRegistry(), _name + ".cpi.robFull",
+                  "commit slots: window full behind the ROB head"),
+      _cpiIqLsqFull(sim.statsRegistry(), _name + ".cpi.iqLsqFull",
+                    "commit slots: IQ/LSQ/registers starved dispatch"),
+      _cpiBranchRedirect(sim.statsRegistry(),
+                         _name + ".cpi.branchRedirect",
+                         "commit slots: ROB empty on a mispredict"),
+      _cpiPersistStall(sim.statsRegistry(), _name + ".cpi.persistStall",
+                       "commit slots: fences, log acks, tx durability"),
+      _cpiWpqBackpressure(sim.statsRegistry(),
+                          _name + ".cpi.wpqBackpressure",
+                          "commit slots: store buffer/WPQ backpressure"),
+      _cpiLockWait(sim.statsRegistry(), _name + ".cpi.lockWait",
+                   "commit slots: ROB head waiting on a lock")
 {
     const unsigned phys = cfg.cpu.physIntRegs;
     if (phys <= numArchRegs)
@@ -72,6 +104,16 @@ Core::Core(Simulator &sim, const SystemConfig &cfg, CoreId id,
     for (unsigned i = phys; i-- > numArchRegs;)
         _freePhysRegs.push_back(static_cast<std::int16_t>(i));
     _iq.reserve(cfg.cpu.issueQueueEntries);
+
+    if (TraceEventSink *ts = sim.trace()) {
+        _traceSink = ts;
+        if (ts->wants(TraceCatCpu)) {
+            _trkPipeline = ts->defineTrack(_name + ".pipeline");
+            _trkTx = ts->defineTrack(_name + ".tx");
+        }
+        if (ts->wants(TraceCatLog))
+            _trkLogQ = ts->defineTrack(_name + ".logq");
+    }
 }
 
 void
@@ -94,12 +136,124 @@ void
 Core::tick(Tick now)
 {
     ++_cycles;
+    _headBlock = RetireBlock::None;
+    _sbBlockedOnLog = false;
+    const double before = _retired.value();
     retireStage(now);
     releaseStoreBuffer(now);
     releaseAutoFlushes();
     issueStage(now);
+    _dispatchBlock = DispatchBlock::None;
     dispatchStage();
     fetchStage();
+    accountCommitSlot(_retired.value() > before, now);
+}
+
+CpiStack
+Core::cpiStack() const
+{
+    CpiStack s;
+    s.base = static_cast<std::uint64_t>(_cpiBase.value());
+    s.robFull = static_cast<std::uint64_t>(_cpiRobFull.value());
+    s.iqLsqFull = static_cast<std::uint64_t>(_cpiIqLsqFull.value());
+    s.branchRedirect =
+        static_cast<std::uint64_t>(_cpiBranchRedirect.value());
+    s.persistStall =
+        static_cast<std::uint64_t>(_cpiPersistStall.value());
+    s.wpqBackpressure =
+        static_cast<std::uint64_t>(_cpiWpqBackpressure.value());
+    s.lockWait = static_cast<std::uint64_t>(_cpiLockWait.value());
+    return s;
+}
+
+void
+Core::tracePhase(CommitBucket bucket, Tick now)
+{
+    // Coalesce consecutive same-bucket cycles into one span so the
+    // Perfetto track reads as phases rather than per-cycle confetti.
+    if (_phaseOpen && bucket == _phaseBucket)
+        return;
+    if (_phaseOpen && _trkPipeline) {
+        _traceSink->complete(TraceCatCpu, _trkPipeline,
+                             toString(_phaseBucket), _phaseStart, now);
+    }
+    _phaseBucket = bucket;
+    _phaseStart = now;
+    _phaseOpen = true;
+}
+
+void
+Core::finalizeTrace()
+{
+    if (!_traceSink)
+        return;
+    if (_phaseOpen && _trkPipeline) {
+        _traceSink->complete(TraceCatCpu, _trkPipeline,
+                             toString(_phaseBucket), _phaseStart,
+                             _sim.now());
+        _phaseOpen = false;
+    }
+}
+
+void
+Core::traceLogQOccupancy()
+{
+    if (_trkLogQ) {
+        _traceSink->counter(TraceCatLog, _trkLogQ, "logq",
+                            _sim.now(), _logQ.occupancy());
+    }
+}
+
+void
+Core::accountCommitSlot(bool retired, Tick now)
+{
+    CommitBucket bucket = CommitBucket::Base;
+    if (retired) {
+        bucket = CommitBucket::Base;
+    } else if (_rob.empty()) {
+        // Front-end-bound (or drained). A pending branch redirect is
+        // the one cause we can name; plain fill latency stays in base.
+        if (_fetchBlocked || now < _fetchResumeAt)
+            bucket = CommitBucket::BranchRedirect;
+    } else {
+        switch (_headBlock) {
+          case RetireBlock::Exec:
+            // Latency-bound window: blame the back-end resource that
+            // starved dispatch this cycle, if any.
+            if (_dispatchBlock == DispatchBlock::Rob)
+                bucket = CommitBucket::RobFull;
+            else if (_dispatchBlock == DispatchBlock::IqLsqRegs)
+                bucket = CommitBucket::IqLsqFull;
+            else if (_dispatchBlock == DispatchBlock::LogHw)
+                bucket = CommitBucket::PersistStall;
+            break;
+          case RetireBlock::StoreBuffer:
+            bucket = _sbBlockedOnLog ? CommitBucket::PersistStall
+                                     : CommitBucket::WpqBackpressure;
+            break;
+          case RetireBlock::Persist:
+            bucket = CommitBucket::PersistStall;
+            break;
+          case RetireBlock::Lock:
+            bucket = CommitBucket::LockWait;
+            break;
+          case RetireBlock::None:
+            break;      // retire width exhausted mid-burst: base
+        }
+    }
+
+    switch (bucket) {
+      case CommitBucket::Base:            ++_cpiBase; break;
+      case CommitBucket::RobFull:         ++_cpiRobFull; break;
+      case CommitBucket::IqLsqFull:       ++_cpiIqLsqFull; break;
+      case CommitBucket::BranchRedirect:  ++_cpiBranchRedirect; break;
+      case CommitBucket::PersistStall:    ++_cpiPersistStall; break;
+      case CommitBucket::WpqBackpressure: ++_cpiWpqBackpressure; break;
+      case CommitBucket::LockWait:        ++_cpiLockWait; break;
+    }
+
+    if (_traceSink)
+        tracePhase(bucket, now);
 }
 
 // ---------------------------------------------------------------------
@@ -145,6 +299,7 @@ Core::dispatchOne(const MicroOp &mop)
     // Resource checks; any failure stalls dispatch in order.
     if (_rob.size() >= _cfg.cpu.robEntries) {
         ++_frontendStallRob;
+        _dispatchBlock = DispatchBlock::Rob;
         return false;
     }
 
@@ -155,32 +310,38 @@ Core::dispatchOne(const MicroOp &mop)
         mop.op == Op::LogLoad || mop.op == Op::LogFlush;
     if (needs_iq && _iq.size() >= _cfg.cpu.issueQueueEntries) {
         ++_frontendStallLsq;
+        _dispatchBlock = DispatchBlock::IqLsqRegs;
         return false;
     }
     if ((mop.op == Op::Load || mop.op == Op::LogLoad) &&
         _loadsInFlight >= _cfg.cpu.loadQueueEntries) {
         ++_frontendStallLsq;
+        _dispatchBlock = DispatchBlock::IqLsqRegs;
         return false;
     }
     if (mop.op == Op::Store &&
         _storesInFlight >= _cfg.cpu.storeQueueEntries) {
         ++_frontendStallLsq;
+        _dispatchBlock = DispatchBlock::IqLsqRegs;
         return false;
     }
     if (mop.dst != noReg && _freePhysRegs.empty()) {
         ++_frontendStallRegs;
+        _dispatchBlock = DispatchBlock::IqLsqRegs;
         return false;
     }
     if (mop.op == Op::LogLoad && !_isProteus)
         panic("log-load executed under a non-Proteus scheme");
     if (mop.op == Op::LogLoad && _lrInUse >= _cfg.logging.logRegisters) {
         ++_frontendStallLogHw;
+        _dispatchBlock = DispatchBlock::LogHw;
         return false;
     }
     if (mop.op == Op::LogFlush && !_lastLogLoadWasHit && _logQ.full()) {
         // Stall dispatch so no store can bypass the log-flush
         // (Section 4.2).
         ++_frontendStallLogHw;
+        _dispatchBlock = DispatchBlock::LogHw;
         return false;
     }
 
@@ -209,8 +370,13 @@ Core::dispatchOne(const MicroOp &mop)
         break;
       case Op::TxEnd:
         _txCtx.endTx();
-        if (_isProteus)
+        if (_isProteus) {
             _llt.clear();
+            if (_trkLogQ) {
+                _traceSink->instant(TraceCatLog, _trkLogQ, "llt.clear",
+                                    _sim.now());
+            }
+        }
         inst.completed = true;
         break;
       case Op::LogLoad: {
@@ -254,6 +420,7 @@ Core::dispatchOne(const MicroOp &mop)
         const Addr log_to = _txCtx.nextLogTo();
         inst.logQEntry =
             _logQ.allocate(inst.seq, payload.fromAddr, log_to, rec);
+        traceLogQOccupancy();
         inst.inIq = true;
         _iq.push_back(&inst);
         break;
@@ -424,6 +591,7 @@ Core::executeInst(DynInst &inst, Tick now)
         req.data = _logQ.record(entry).toBytes();
         _caches.sendLogWrite(req, [this, entry]() {
             _logQ.deallocate(entry);
+            traceLogQOccupancy();
         });
         _sim.schedule(1, [this, ip]() { completeInst(*ip); });
         break;
@@ -549,10 +717,14 @@ Core::canRetire(DynInst &inst, Tick now)
 
     switch (mop.op) {
       case Op::Store:
-        if (!inst.completed)
+        if (!inst.completed) {
+            _headBlock = RetireBlock::Exec;
             return false;
-        if (_storeBuffer.size() >= _cfg.cpu.storeBufferEntries)
+        }
+        if (_storeBuffer.size() >= _cfg.cpu.storeBufferEntries) {
+            _headBlock = RetireBlock::StoreBuffer;
             return false;
+        }
         if (_scheme == LogScheme::ATOM && _retireTxId != 0 &&
             mop.persistent) {
             const Addr block = blockAlign(mop.addr);
@@ -563,6 +735,7 @@ Core::canRetire(DynInst &inst, Tick now)
                 }
                 if (inst.atomLogState != 2) {
                     ++_retireStallAtom;
+                    _headBlock = RetireBlock::Persist;
                     return false;
                 }
                 _atomLoggedBlocks.insert(block);
@@ -573,6 +746,7 @@ Core::canRetire(DynInst &inst, Tick now)
       case Op::MFence:
         if (!persistsDrained()) {
             ++_retireStallFence;
+            _headBlock = RetireBlock::Persist;
             return false;
         }
         return true;
@@ -582,8 +756,10 @@ Core::canRetire(DynInst &inst, Tick now)
             DynInst *ip = &inst;
             _mc.drain([ip]() { ip->completed = true; });
         }
-        if (!inst.completed)
+        if (!inst.completed) {
             ++_retireStallFence;
+            _headBlock = RetireBlock::Persist;
+        }
         return inst.completed;
       case Op::LogSave:
         if (!inst.logSaveIssued) {
@@ -592,11 +768,14 @@ Core::canRetire(DynInst &inst, Tick now)
             DynInst *ip = &inst;
             _mc.flushCoreLogs(_id, [ip]() { ip->completed = true; });
         }
+        if (!inst.completed)
+            _headBlock = RetireBlock::Persist;
         return inst.completed;
       case Op::TxEnd: {
         if (_scheme == LogScheme::ATOM) {
             if (!persistsDrained() || _atomPendingLogs != 0) {
                 ++_retireStallTxEnd;
+                _headBlock = RetireBlock::Persist;
                 return false;
             }
             // The commit record must be durable before the durability
@@ -604,6 +783,7 @@ Core::canRetire(DynInst &inst, Tick now)
             if (!inst.atomCommitDone) {
                 if (!_mc.atomTxCommit(_id, mop.data)) {
                     ++_retireStallTxEnd;
+                    _headBlock = RetireBlock::Persist;
                     return false;
                 }
                 inst.atomCommitDone = true;
@@ -614,6 +794,7 @@ Core::canRetire(DynInst &inst, Tick now)
             if (!persistsDrained() ||
                 !_logQ.emptyForTx(mop.data)) {
                 ++_retireStallTxEnd;
+                _headBlock = RetireBlock::Persist;
                 return false;
             }
             return true;
@@ -621,12 +802,16 @@ Core::canRetire(DynInst &inst, Tick now)
         return true;    // software schemes fence explicitly
       }
       default:
+        if (!inst.completed) {
+            _headBlock = mop.op == Op::LockAcquire ? RetireBlock::Lock
+                                                   : RetireBlock::Exec;
+        }
         return inst.completed;
     }
 }
 
 void
-Core::doRetire(DynInst &inst)
+Core::doRetire(DynInst &inst, Tick now)
 {
     const MicroOp &mop = *inst.mop;
 
@@ -667,6 +852,7 @@ Core::doRetire(DynInst &inst)
         _atomLoggedBlocks.clear();
         _atomLogStarted.clear();
         _atomSeq = 0;
+        _txStartTick = now;
         break;
       case Op::TxEnd: {
         const TxId tx = mop.data;
@@ -679,6 +865,12 @@ Core::doRetire(DynInst &inst)
         }
         _committedTxs.push_back(tx);
         ++_committedTxStat;
+        if (_traceSink && _trkTx) {
+            _traceSink->complete(TraceCatCpu, _trkTx,
+                                 "tx" + std::to_string(tx),
+                                 _txStartTick, now);
+            _traceSink->instant(TraceCatCpu, _trkTx, "commit", now);
+        }
         break;
       }
       case Op::LockRelease:
@@ -732,7 +924,7 @@ Core::retireStage(Tick now)
         DynInst &head = _rob.front();
         if (!canRetire(head, now))
             return;
-        doRetire(head);
+        doRetire(head, now);
         _rob.pop_front();
     }
 }
@@ -789,6 +981,7 @@ Core::releaseStoreBuffer(Tick now)
             // The undo log covering this store has not yet been
             // acknowledged (Section 4.2).
             ++_sbOrderingStalls;
+            _sbBlockedOnLog = true;
             return;
         }
         if (_checkOrdering && _isHwScheme && entry.persistent &&

@@ -51,6 +51,61 @@
 
 namespace proteus {
 
+class TraceEventSink;
+
+/**
+ * Commit-slot cycle attribution (a top-down / gem5-style CPI stack).
+ * Every core cycle lands in exactly one bucket, so the buckets sum to
+ * the core's total cycles by construction. "base" covers cycles that
+ * retired work plus front-end fill and plain execution latency; the
+ * remaining buckets name the resource the ROB head was blocked on.
+ */
+struct CpiStack
+{
+    std::uint64_t base = 0;             ///< retiring / fill / exec latency
+    std::uint64_t robFull = 0;          ///< window full behind a long op
+    std::uint64_t iqLsqFull = 0;        ///< IQ/LSQ/regs starved dispatch
+    std::uint64_t branchRedirect = 0;   ///< ROB empty on a mispredict
+    std::uint64_t persistStall = 0;     ///< fences, log acks, tx-end
+    std::uint64_t wpqBackpressure = 0;  ///< store buffer / WPQ full
+    std::uint64_t lockWait = 0;         ///< ROB head waiting on a lock
+
+    std::uint64_t
+    total() const
+    {
+        return base + robFull + iqLsqFull + branchRedirect +
+               persistStall + wpqBackpressure + lockWait;
+    }
+
+    CpiStack &
+    operator+=(const CpiStack &o)
+    {
+        base += o.base;
+        robFull += o.robFull;
+        iqLsqFull += o.iqLsqFull;
+        branchRedirect += o.branchRedirect;
+        persistStall += o.persistStall;
+        wpqBackpressure += o.wpqBackpressure;
+        lockWait += o.lockWait;
+        return *this;
+    }
+};
+
+/** The CPI-stack bucket a commit-slot cycle is attributed to. */
+enum class CommitBucket : unsigned char
+{
+    Base,
+    RobFull,
+    IqLsqFull,
+    BranchRedirect,
+    PersistStall,
+    WpqBackpressure,
+    LockWait,
+};
+
+/** @return a short printable bucket name, e.g. "persist-stall". */
+const char *toString(CommitBucket bucket);
+
 /** One hardware thread executing a pre-decoded trace. */
 class Core : public Ticked
 {
@@ -83,6 +138,14 @@ class Core : public Ticked
     {
         return static_cast<std::uint64_t>(_frontendStalls.value());
     }
+    /** Per-bucket commit-slot cycle attribution; sums to cycles(). */
+    CpiStack cpiStack() const;
+    std::uint64_t cycles() const
+    {
+        return static_cast<std::uint64_t>(_cycles.value());
+    }
+    /** Emit the still-open pipeline-phase trace span (end of run). */
+    void finalizeTrace();
     const LogLookupTable &llt() const { return _llt; }
     const LogQueue &logQueue() const { return _logQ; }
 
@@ -121,6 +184,25 @@ class Core : public Ticked
         bool persistent = false;
     };
 
+    /** Why the ROB head could not retire this cycle. */
+    enum class RetireBlock : unsigned char
+    {
+        None,           ///< retired, or ROB empty
+        Exec,           ///< head still executing (latency-bound)
+        StoreBuffer,    ///< head store blocked on a full store buffer
+        Persist,        ///< fence / log ack / tx-end durability
+        Lock,           ///< head lock-acquire not yet granted
+    };
+
+    /** Why dispatch stalled this cycle (for Exec-blocked attribution). */
+    enum class DispatchBlock : unsigned char
+    {
+        None,
+        Rob,
+        IqLsqRegs,
+        LogHw,
+    };
+
     void fetchStage();
     void dispatchStage();
     void issueStage(Tick now);
@@ -128,12 +210,15 @@ class Core : public Ticked
     void scanAtomWindow();
     void releaseStoreBuffer(Tick now);
     void releaseAutoFlushes();
+    void accountCommitSlot(bool retired, Tick now);
+    void tracePhase(CommitBucket bucket, Tick now);
+    void traceLogQOccupancy();
 
     bool dispatchOne(const MicroOp &mop);
     void executeInst(DynInst &inst, Tick now);
     void completeInst(DynInst &inst);
     bool canRetire(DynInst &inst, Tick now);
-    void doRetire(DynInst &inst);
+    void doRetire(DynInst &inst, Tick now);
     bool srcsReady(const DynInst &inst) const;
     void setDstReady(DynInst &inst);
     bool forwardFromStores(Addr addr, unsigned size,
@@ -212,6 +297,21 @@ class Core : public Ticked
 
     std::vector<TxId> _committedTxs;
 
+    /// @name Commit-slot attribution and trace emission
+    /// @{
+    RetireBlock _headBlock = RetireBlock::None;
+    DispatchBlock _dispatchBlock = DispatchBlock::None;
+    bool _sbBlockedOnLog = false;   ///< store buffer held by log order
+    TraceEventSink *_traceSink = nullptr;
+    std::uint32_t _trkPipeline = 0;
+    std::uint32_t _trkTx = 0;
+    std::uint32_t _trkLogQ = 0;
+    CommitBucket _phaseBucket = CommitBucket::Base;
+    bool _phaseOpen = false;
+    Tick _phaseStart = 0;
+    Tick _txStartTick = 0;
+    /// @}
+
     stats::Scalar _retired;
     stats::Scalar _cycles;
     stats::Scalar _frontendStalls;
@@ -224,6 +324,15 @@ class Core : public Ticked
     stats::Scalar _retireStallTxEnd;
     stats::Scalar _sbOrderingStalls;
     stats::Scalar _committedTxStat;
+
+    /** CPI-stack buckets; exactly one is incremented per cycle. */
+    stats::Scalar _cpiBase;
+    stats::Scalar _cpiRobFull;
+    stats::Scalar _cpiIqLsqFull;
+    stats::Scalar _cpiBranchRedirect;
+    stats::Scalar _cpiPersistStall;
+    stats::Scalar _cpiWpqBackpressure;
+    stats::Scalar _cpiLockWait;
 };
 
 } // namespace proteus

@@ -1,6 +1,9 @@
 #include "lock_manager.hh"
 
+#include <sstream>
+
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
 
 namespace proteus {
 
@@ -20,6 +23,24 @@ LockManager::LockManager(Simulator &sim)
       _contendedAcquires(sim.statsRegistry(), "locks.contended",
                          "acquisitions that had to wait")
 {
+    if (TraceEventSink *ts = sim.trace()) {
+        if (ts->wants(TraceCatLock)) {
+            _traceSink = ts;
+            _trkLocks = ts->defineTrack("locks");
+        }
+    }
+}
+
+void
+LockManager::traceHeldSpan(Addr addr, const LockState &state)
+{
+    if (!_traceSink)
+        return;
+    std::ostringstream name;
+    name << "lock:0x" << std::hex << addr << std::dec << " core"
+         << state.holder;
+    _traceSink->complete(TraceCatLock, _trkLocks, name.str(),
+                         state.grantedAt, _sim.now());
 }
 
 void
@@ -31,6 +52,7 @@ LockManager::grant(Addr addr, LockState &state)
     auto cb = std::move(it->second);
     state.waiters.erase(it);
     state.held = true;
+    state.grantedAt = _sim.now() + handoffLatency;
     ++_acquires;
     _sim.schedule(handoffLatency, std::move(cb));
     (void)addr;
@@ -44,11 +66,14 @@ LockManager::acquire(Addr addr, CoreId core, std::uint64_t ticket,
     if (!state.held && ticket == state.nextServe) {
         state.held = true;
         state.holder = core;
+        state.grantedAt = _sim.now() + acquireLatency;
         ++_acquires;
         _sim.schedule(acquireLatency, std::move(granted));
         return;
     }
     ++_contendedAcquires;
+    if (_traceSink)
+        _traceSink->instant(TraceCatLock, _trkLocks, "wait", _sim.now());
     // The holder field is set when the grant fires; remember who asked.
     state.waiters.emplace(ticket, [this, addr, core,
                                    cb = std::move(granted)]() {
@@ -67,6 +92,7 @@ LockManager::release(Addr addr, CoreId core)
         panic("LockManager: core ", core,
               " released a lock it does not hold");
     }
+    traceHeldSpan(addr, it->second);
     it->second.held = false;
     ++it->second.nextServe;
     grant(addr, it->second);

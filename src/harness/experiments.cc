@@ -38,6 +38,14 @@ BenchOptions::parse(int argc, char **argv)
             opts.dram = true;
         } else if (arg == "--set") {
             opts.overrides.push_back(next());
+        } else if (arg == "--stats-interval") {
+            opts.statsInterval = std::stoull(next());
+        } else if (arg == "--stats-out") {
+            opts.statsOut = next();
+        } else if (arg == "--trace-events") {
+            opts.traceEvents = next();
+        } else if (arg == "--trace-categories") {
+            opts.traceCategories = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "options:\n"
@@ -53,7 +61,15 @@ BenchOptions::parse(int argc, char **argv)
                 << "  --json FILE    write per-run results as JSON "
                 << "rows\n"
                 << "  --set k=v      config override, e.g. "
-                << "logging.logQEntries=8\n";
+                << "logging.logQEntries=8\n"
+                << "  --stats-interval N  sample scalar-stat deltas "
+                << "every N cycles\n"
+                << "  --stats-out FILE    interval time series "
+                << "(.json or .csv)\n"
+                << "  --trace-events FILE Chrome Trace Event JSON "
+                << "(load in Perfetto)\n"
+                << "  --trace-categories LIST  comma list of "
+                << "cpu,memctrl,log,lock,all (default all)\n";
             std::exit(0);
         } else {
             fatal("unknown argument: ", arg);
@@ -67,6 +83,14 @@ BenchOptions::makeConfig() const
 {
     SystemConfig cfg = dram ? dramConfig() : baselineConfig();
     cfg.seed = seed;
+    if (statsInterval > 0 && statsOut.empty())
+        fatal("--stats-interval requires --stats-out FILE");
+    cfg.obs.statsInterval = statsInterval;
+    cfg.obs.statsOut = statsOut;
+    cfg.obs.traceEvents = traceEvents;
+    if (!traceEvents.empty())
+        cfg.obs.traceCategories =
+            TraceEventSink::parseCategories(traceCategories);
     for (const std::string &o : overrides)
         cfg.applyOverride(o);
     return cfg;
@@ -112,6 +136,14 @@ writeJsonResults(const std::string &path,
            << ", \"nvmReads\": " << r.nvmReads
            << ", \"committedTxs\": " << r.committedTxs
            << ", \"logWritesDropped\": " << r.logWritesDropped
+           << ", \"cpi\": {"
+           << "\"base\": " << r.cpi.base
+           << ", \"robFull\": " << r.cpi.robFull
+           << ", \"iqLsqFull\": " << r.cpi.iqLsqFull
+           << ", \"branchRedirect\": " << r.cpi.branchRedirect
+           << ", \"persistStall\": " << r.cpi.persistStall
+           << ", \"wpqBackpressure\": " << r.cpi.wpqBackpressure
+           << ", \"lockWait\": " << r.cpi.lockWait << "}"
            << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
            << row.wallMs << std::defaultfloat << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";

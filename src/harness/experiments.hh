@@ -28,9 +28,18 @@ struct BenchOptions
     std::string jsonPath;       ///< write per-run JSON rows ("" = off)
     std::vector<std::string> overrides;
 
+    /// @name Observability (see ObservabilityConfig)
+    /// @{
+    Tick statsInterval = 0;     ///< --stats-interval N (0 = off)
+    std::string statsOut;       ///< --stats-out FILE
+    std::string traceEvents;    ///< --trace-events FILE
+    std::string traceCategories = "all";    ///< --trace-categories spec
+    /// @}
+
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
-     *  --seed N, --dram, --json FILE, and --set key=value.
-     *  Exits on --help. */
+     *  --seed N, --dram, --json FILE, --set key=value,
+     *  --stats-interval N, --stats-out FILE, --trace-events FILE,
+     *  and --trace-categories LIST. Exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Baseline config with the options applied. */

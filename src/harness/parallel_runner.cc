@@ -9,6 +9,21 @@
 
 namespace proteus {
 
+std::string
+perJobPath(const std::string &path, std::size_t index)
+{
+    if (path.empty())
+        return path;
+    const std::string tag = ".job" + std::to_string(index);
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
 {
 }
@@ -18,6 +33,47 @@ ProgressReporter::line(const std::string &text)
 {
     const std::lock_guard<std::mutex> lock(_mutex);
     _os << text << "\n";
+}
+
+void
+ProgressReporter::beginBatch(std::size_t total, unsigned workers)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _total = total;
+    _done = 0;
+    _inFlight = 0;
+    _workers = workers ? workers : 1;
+    _wallMsSum = 0;
+}
+
+void
+ProgressReporter::jobStarted(const std::string &label)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    ++_inFlight;
+    _os << "  running " << label << "... [" << _inFlight
+        << " in flight]\n";
+}
+
+void
+ProgressReporter::jobFinished(const std::string &label, double wall_ms)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    --_inFlight;
+    ++_done;
+    _wallMsSum += wall_ms;
+    _os << "  done    " << label << " ("
+        << static_cast<std::uint64_t>(wall_ms) << " ms) [" << _done
+        << "/" << _total;
+    if (_done < _total) {
+        // ETA: mean job cost so far, spread over the worker pool.
+        const double avg = _wallMsSum / static_cast<double>(_done);
+        const double remaining =
+            avg * static_cast<double>(_total - _done) / _workers;
+        _os << ", eta ~" << static_cast<std::uint64_t>(remaining)
+            << " ms";
+    }
+    _os << "]\n";
 }
 
 ParallelRunner::ParallelRunner(unsigned jobs) : _workers(jobs)
@@ -36,6 +92,12 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
     std::vector<SimJobResult> results(batch.size());
     std::vector<std::exception_ptr> errors(batch.size());
 
+    const std::size_t pool =
+        std::min<std::size_t>(_workers, batch.size());
+    if (progress)
+        progress->beginBatch(batch.size(),
+                             static_cast<unsigned>(pool ? pool : 1));
+
     // Jobs are claimed from a shared counter; results are written to
     // the claimed index, so ordering is submission order no matter
     // which worker finishes first.
@@ -46,9 +108,18 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= batch.size())
                 return;
-            const SimJob &job = batch[i];
+            SimJob job = batch[i];
+            if (batch.size() > 1) {
+                // Observability outputs must not collide across jobs:
+                // derive a per-job file name from the submission index
+                // (deterministic, so --jobs N matches --jobs 1).
+                job.cfg.obs.statsOut =
+                    perJobPath(job.cfg.obs.statsOut, i);
+                job.cfg.obs.traceEvents =
+                    perJobPath(job.cfg.obs.traceEvents, i);
+            }
             if (progress)
-                progress->line("  running " + job.label + "...");
+                progress->jobStarted(job.label);
             const auto start = std::chrono::steady_clock::now();
             try {
                 results[i].result = runExperiment(
@@ -60,18 +131,10 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            if (progress) {
-                std::ostringstream os;
-                os << "  done    " << job.label << " ("
-                   << static_cast<std::uint64_t>(results[i].wallMs)
-                   << " ms)";
-                progress->line(os.str());
-            }
+            if (progress)
+                progress->jobFinished(job.label, results[i].wallMs);
         }
     };
-
-    const std::size_t pool =
-        std::min<std::size_t>(_workers, batch.size());
     if (pool <= 1) {
         // Sequential fast path: no thread overhead at --jobs 1 or for
         // single-job batches.

@@ -24,6 +24,13 @@
 
 namespace proteus {
 
+/**
+ * Derive the per-job output path used for multi-job batches: inserts
+ * ".job<index>" before the extension ("out/iv.json", 2 ->
+ * "out/iv.job2.json"). Empty paths stay empty.
+ */
+std::string perJobPath(const std::string &path, std::size_t index);
+
 /** One independent simulation to run. */
 struct SimJob
 {
@@ -43,7 +50,9 @@ struct SimJobResult
 
 /**
  * Serializes progress lines from concurrent jobs so per-job start and
- * finish messages never interleave mid-line.
+ * finish messages never interleave mid-line. When armed via
+ * beginBatch, the per-job lines also carry jobs-in-flight counts and a
+ * wall-clock ETA extrapolated from finished jobs' wallMs.
  */
 class ProgressReporter
 {
@@ -53,9 +62,21 @@ class ProgressReporter
     /** Print @p text plus a newline, atomically. */
     void line(const std::string &text);
 
+    /** Arm batch tracking: @p total jobs over @p workers threads. */
+    void beginBatch(std::size_t total, unsigned workers);
+    /** Emit the "running LABEL..." line (with in-flight count). */
+    void jobStarted(const std::string &label);
+    /** Emit the "done LABEL (N ms)" line (with progress and ETA). */
+    void jobFinished(const std::string &label, double wall_ms);
+
   private:
     std::mutex _mutex;
     std::ostream &_os;
+    std::size_t _total = 0;
+    std::size_t _done = 0;
+    std::size_t _inFlight = 0;
+    unsigned _workers = 1;
+    double _wallMsSum = 0;
 };
 
 /** Fixed-size thread pool for batches of simulation jobs. */

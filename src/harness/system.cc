@@ -16,6 +16,15 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
     _sim = std::make_unique<Simulator>();
     _heap = std::make_unique<PersistentHeap>();
 
+    // Attach the trace sink before any timing component is built so
+    // component constructors can define their tracks.
+    if (!_cfg.obs.traceEvents.empty()) {
+        _traceSink = std::make_unique<TraceEventSink>(
+            _cfg.obs.traceEvents, _cfg.obs.traceCategories,
+            static_cast<std::size_t>(_cfg.obs.traceRingEntries));
+        _sim->setTraceSink(_traceSink.get());
+    }
+
     // Functional phase: populate (InitOps), fast-forward, record.
     _workload =
         makeWorkload(kind, *_heap, _cfg.logging.scheme, params, ll_opts);
@@ -48,6 +57,29 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
         }
         _sim->addTicked(_cores.back().get());
     }
+
+    if (_cfg.obs.statsInterval > 0) {
+        _sampler = std::make_unique<IntervalStatsSampler>(
+            *_sim, _cfg.obs.statsInterval, _cfg.obs.statsOut);
+        _sampler->start();
+    }
+}
+
+FullSystem::~FullSystem()
+{
+    finishObservability();
+}
+
+void
+FullSystem::finishObservability()
+{
+    if (_sampler)
+        _sampler->finish();
+    if (_traceSink) {
+        for (auto &core : _cores)
+            core->finalizeTrace();
+        _traceSink->flush();
+    }
 }
 
 bool
@@ -75,6 +107,7 @@ FullSystem::snapshotResult() const
         r.retiredOps += core->retiredOps();
         r.frontendStallCycles += core->frontendStallCycles();
         r.committedTxs += core->committedTxs().size();
+        r.cpi += core->cpiStack();
         llt_lookups += core->llt().lookups();
         llt_misses += core->llt().misses();
     }
@@ -94,6 +127,7 @@ FullSystem::run(Tick max_cycles)
     if (!ok)
         warn("FullSystem: simulation hit the cycle limit before the "
              "traces drained");
+    finishObservability();
     return r;
 }
 

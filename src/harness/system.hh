@@ -17,7 +17,9 @@
 #include "heap/persistent_heap.hh"
 #include "memctrl/mem_ctrl.hh"
 #include "sim/config.hh"
+#include "sim/interval_stats.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_events.hh"
 #include "workloads/workload.hh"
 
 namespace proteus {
@@ -34,6 +36,7 @@ struct RunResult
     std::uint64_t committedTxs = 0;
     std::uint64_t logWritesDropped = 0;
     double lltMissRate = 0;     ///< aggregate over all cores
+    CpiStack cpi;               ///< commit-slot cycles, summed over cores
 };
 
 /** A fully wired simulated machine executing one workload. */
@@ -43,6 +46,8 @@ class FullSystem
     FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                const WorkloadParams &params,
                const LinkedListOptions &ll_opts = {});
+
+    ~FullSystem();
 
     /** Run until every core drains (or @p max_cycles elapse). */
     RunResult run(Tick max_cycles = 2'000'000'000ull);
@@ -73,6 +78,13 @@ class FullSystem
         return static_cast<unsigned>(_cores.size());
     }
     const SystemConfig &config() const { return _cfg; }
+    /** Trace sink (null unless obs.traceEvents is set). */
+    TraceEventSink *traceSink() { return _traceSink.get(); }
+    /** Interval sampler (null unless obs.statsInterval > 0). */
+    IntervalStatsSampler *sampler() { return _sampler.get(); }
+
+    /** Flush observability outputs (idempotent; run() also does this). */
+    void finishObservability();
 
     /** ATOM per-core log area bounds (commit record + entries). */
     std::pair<Addr, Addr> atomLogArea(unsigned core) const
@@ -83,6 +95,8 @@ class FullSystem
   private:
     SystemConfig _cfg;
     std::unique_ptr<Simulator> _sim;
+    std::unique_ptr<TraceEventSink> _traceSink;
+    std::unique_ptr<IntervalStatsSampler> _sampler;
     std::unique_ptr<PersistentHeap> _heap;
     std::unique_ptr<Workload> _workload;
     std::unique_ptr<MemCtrl> _mc;

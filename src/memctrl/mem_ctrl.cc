@@ -5,6 +5,7 @@
 #include <map>
 
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
 
 namespace proteus {
 
@@ -64,6 +65,14 @@ MemCtrl::MemCtrl(Simulator &sim, const SystemConfig &cfg, MemoryImage &nvm)
               scheme == LogScheme::ProteusNoLWR;
     _logWriteRemoval = scheme == LogScheme::Proteus;
     ensureCore(cfg.cores ? cfg.cores - 1 : 0);
+
+    if (TraceEventSink *ts = sim.trace()) {
+        if (ts->wants(TraceCatMemCtrl)) {
+            _traceSink = ts;
+            _trkWpq = ts->defineTrack("mc.wpq");
+            _trkLpq = ts->defineTrack("mc.lpq");
+        }
+    }
 }
 
 void
@@ -709,6 +718,21 @@ MemCtrl::tick(Tick now)
     _wpqOccupancy.sample(_wpq.size());
     _inflightSample.sample(_inflightWrites);
     _lpqOccupancy.sample(_lpq.size() + _inflightLogs);
+    if (_traceSink) {
+        const auto wpq = static_cast<std::int64_t>(_wpq.size());
+        const auto lpq =
+            static_cast<std::int64_t>(_lpq.size() + _inflightLogs);
+        if (wpq != _lastWpqEmit) {
+            _traceSink->counter(TraceCatMemCtrl, _trkWpq, "wpq", now,
+                                static_cast<double>(wpq));
+            _lastWpqEmit = wpq;
+        }
+        if (lpq != _lastLpqEmit) {
+            _traceSink->counter(TraceCatMemCtrl, _trkLpq, "lpq", now,
+                                static_cast<double>(lpq));
+            _lastLpqEmit = lpq;
+        }
+    }
     pumpAtomTruncation();
 
     // One command per cycle: reads first, then regular writes, then the

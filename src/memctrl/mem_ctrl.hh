@@ -35,6 +35,8 @@
 
 namespace proteus {
 
+class TraceEventSink;
+
 /** Kinds of writes arriving at the controller. */
 enum class WriteKind : std::uint8_t
 {
@@ -297,6 +299,17 @@ class MemCtrl : public Ticked
     stats::Average _inflightSample;
     stats::Scalar _writeAttempts;
     stats::Scalar _writeNoCandidate;
+
+    /// @name Trace-event output (memctrl category)
+    /// @{
+    TraceEventSink *_traceSink = nullptr;
+    std::uint32_t _trkWpq = 0;
+    std::uint32_t _trkLpq = 0;
+    /** Last emitted counter values; counters are emitted on change only
+     *  to bound trace volume. -1 forces the first emission. */
+    std::int64_t _lastWpqEmit = -1;
+    std::int64_t _lastLpqEmit = -1;
+    /// @}
 };
 
 } // namespace proteus

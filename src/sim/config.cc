@@ -125,6 +125,8 @@ SystemConfig::applyOverride(const std::string &spec)
     else if (key == "logging.logAreaBytes") logging.logAreaBytes = as_u64();
     else if (key == "logging.atomTruncationEntries")
         logging.atomTruncationEntries = static_cast<unsigned>(as_u64());
+    else if (key == "obs.traceRingEntries")
+        obs.traceRingEntries = as_u64();
     else
         fatal("unknown config override key: ", key);
 }

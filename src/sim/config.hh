@@ -146,6 +146,21 @@ struct LoggingConfig
     unsigned atomTruncationEntries = 64;
 };
 
+/**
+ * Observability hooks: interval stats sampling and trace-event output.
+ * Both are off by default and cost nothing when off. Paths are per-run;
+ * the parallel runner derives per-job file names for multi-job batches.
+ */
+struct ObservabilityConfig
+{
+    Tick statsInterval = 0;         ///< cycles between samples; 0 = off
+    std::string statsOut;           ///< interval time-series file
+    std::string traceEvents;        ///< Chrome Trace Event JSON file
+    unsigned traceCategories = 0xf; ///< TraceCategory mask
+    /** Trace ring-buffer capacity in events (oldest dropped beyond). */
+    std::uint64_t traceRingEntries = 1ull << 18;
+};
+
 /** Top-level system description. */
 struct SystemConfig
 {
@@ -155,6 +170,7 @@ struct SystemConfig
     MemTimingConfig mem;
     MemCtrlConfig memCtrl;
     LoggingConfig logging;
+    ObservabilityConfig obs;
     std::uint64_t seed = 1;
 
     /**

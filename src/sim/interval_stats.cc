@@ -1,0 +1,120 @@
+#include "interval_stats.hh"
+
+#include <fstream>
+
+#include "json_util.hh"
+#include "logging.hh"
+#include "simulator.hh"
+#include "stats.hh"
+
+namespace proteus {
+
+IntervalStatsSampler::IntervalStatsSampler(Simulator &sim, Tick interval,
+                                           std::string outPath)
+    : _sim(sim), _interval(interval), _outPath(std::move(outPath))
+{
+    if (_interval == 0)
+        fatal("IntervalStatsSampler: interval must be positive");
+}
+
+void
+IntervalStatsSampler::start()
+{
+    if (_started)
+        panic("IntervalStatsSampler: started twice");
+    _started = true;
+
+    // Only Scalars are tracked: their deltas are meaningful and sum to
+    // the end-of-run totals. Means, histograms, and formulas are
+    // derived views better recomputed from the scalar series.
+    for (const auto &[name, stat] : _sim.statsRegistry().all()) {
+        const auto *scalar = dynamic_cast<const stats::Scalar *>(stat);
+        if (!scalar)
+            continue;
+        _columns.push_back(name);
+        _tracked.push_back(scalar);
+        _prev.push_back(scalar->value());
+    }
+    _lastCapture = _sim.now();
+    _sim.schedule(_interval, [this]() { fire(); });
+}
+
+void
+IntervalStatsSampler::fire()
+{
+    capture(_sim.now());
+    _sim.schedule(_interval, [this]() { fire(); });
+}
+
+void
+IntervalStatsSampler::capture(Tick cycle)
+{
+    Row row;
+    row.cycle = cycle;
+    row.deltas.resize(_tracked.size());
+    for (std::size_t i = 0; i < _tracked.size(); ++i) {
+        const double v = _tracked[i]->value();
+        row.deltas[i] = v - _prev[i];
+        _prev[i] = v;
+    }
+    _rows.push_back(std::move(row));
+    _lastCapture = cycle;
+}
+
+void
+IntervalStatsSampler::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    if (_started && _sim.now() > _lastCapture)
+        capture(_sim.now());
+    if (_outPath.empty())
+        return;
+
+    const bool json = _outPath.size() >= 5 &&
+                      _outPath.compare(_outPath.size() - 5, 5,
+                                       ".json") == 0;
+    std::ofstream os(_outPath);
+    if (!os)
+        fatal("cannot open --stats-out output file: ", _outPath);
+    write(os, json);
+    if (!os.flush())
+        fatal("failed writing --stats-out output file: ", _outPath);
+}
+
+void
+IntervalStatsSampler::write(std::ostream &os, bool json) const
+{
+    if (json) {
+        os << "{\n  \"interval\": " << _interval
+           << ",\n  \"columns\": [";
+        for (std::size_t i = 0; i < _columns.size(); ++i)
+            os << (i ? ", " : "") << json::quoted(_columns[i]);
+        os << "],\n  \"rows\": [";
+        for (std::size_t r = 0; r < _rows.size(); ++r) {
+            os << (r ? ",\n    " : "\n    ") << "{\"cycle\": "
+               << _rows[r].cycle << ", \"deltas\": [";
+            for (std::size_t i = 0; i < _rows[r].deltas.size(); ++i) {
+                os << (i ? ", " : "");
+                json::writeNumber(os, _rows[r].deltas[i]);
+            }
+            os << "]}";
+        }
+        os << "\n  ]\n}\n";
+        return;
+    }
+
+    os << "cycle";
+    for (const std::string &c : _columns)
+        os << "," << c;
+    os << "\n";
+    for (const Row &row : _rows) {
+        os << row.cycle;
+        for (const double d : row.deltas)
+            os << "," << d;
+        os << "\n";
+    }
+}
+
+} // namespace proteus

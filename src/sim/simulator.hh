@@ -22,6 +22,8 @@
 
 namespace proteus {
 
+class TraceEventSink;
+
 /** Interface for components advanced once per simulated cycle. */
 class Ticked
 {
@@ -51,6 +53,15 @@ class Simulator
 
     EventQueue &events() { return _events; }
     stats::StatRegistry &statsRegistry() { return _stats; }
+
+    /**
+     * Trace-event sink, or nullptr when tracing is off (the default).
+     * Set by the system builder before components are constructed so
+     * they can define their tracks; components must null-check on every
+     * emission path.
+     */
+    TraceEventSink *trace() const { return _trace; }
+    void setTraceSink(TraceEventSink *sink) { _trace = sink; }
 
     /** Schedule a callback @p delay cycles in the future. */
     void schedule(Tick delay, EventQueue::Callback cb);
@@ -87,6 +98,7 @@ class Simulator
     bool _stopRequested = false;
     EventQueue _events;
     stats::StatRegistry _stats;
+    TraceEventSink *_trace = nullptr;
     std::vector<Ticked *> _components;
 };
 

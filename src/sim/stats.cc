@@ -2,6 +2,7 @@
 
 #include <iomanip>
 
+#include "json_util.hh"
 #include "logging.hh"
 
 namespace proteus {
@@ -19,6 +20,12 @@ StatBase::dump(std::ostream &os) const
 {
     os << std::left << std::setw(44) << _name << std::right
        << std::setw(16) << value() << "  # " << _desc << "\n";
+}
+
+void
+StatBase::dumpJsonValue(std::ostream &os) const
+{
+    json::writeNumber(os, value());
 }
 
 void
@@ -77,6 +84,27 @@ Distribution::reset()
     std::fill(_buckets.begin(), _buckets.end(), 0);
     _underflow = _overflow = _count = 0;
     _sum = _minSeen = _maxSeen = 0;
+}
+
+void
+Distribution::dumpJsonValue(std::ostream &os) const
+{
+    os << "{\"mean\": ";
+    json::writeNumber(os, value());
+    os << ", \"count\": " << _count;
+    os << ", \"min\": ";
+    json::writeNumber(os, _minSeen);
+    os << ", \"max\": ";
+    json::writeNumber(os, _maxSeen);
+    os << ", \"lo\": ";
+    json::writeNumber(os, _lo);
+    os << ", \"hi\": ";
+    json::writeNumber(os, _hi);
+    os << ", \"underflow\": " << _underflow
+       << ", \"overflow\": " << _overflow << ", \"buckets\": [";
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        os << (i ? ", " : "") << _buckets[i];
+    os << "]}";
 }
 
 void
@@ -150,7 +178,8 @@ StatRegistry::dumpJson(std::ostream &os) const
         if (!first)
             os << ",";
         first = false;
-        os << "\n  \"" << name << "\": " << stat->value();
+        os << "\n  " << json::quoted(name) << ": ";
+        stat->dumpJsonValue(os);
     }
     os << "\n}\n";
 }

@@ -43,6 +43,13 @@ class StatBase
     virtual void reset() = 0;
     /** Pretty-print one or more lines to @p os. */
     virtual void dump(std::ostream &os) const;
+    /**
+     * Write this stat's JSON value (the right-hand side of its
+     * "name": ... entry). The default writes value() as a number,
+     * mapping NaN/Inf to null; Distribution emits a full histogram
+     * object.
+     */
+    virtual void dumpJsonValue(std::ostream &os) const;
 
   private:
     std::string _name;
@@ -101,9 +108,12 @@ class Distribution : public StatBase
     double min() const { return _minSeen; }
     double max() const { return _maxSeen; }
     std::uint64_t count() const { return _count; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
     void reset() override;
     void dump(std::ostream &os) const override;
+    void dumpJsonValue(std::ostream &os) const override;
 
   private:
     double _lo;
@@ -156,9 +166,19 @@ class StatRegistry
 
     void resetAll();
     void dump(std::ostream &os) const;
-    /** Machine-readable dump: a flat JSON object of name -> value. */
+    /**
+     * Machine-readable dump: a JSON object of name -> value. Names are
+     * escaped, non-finite values become null, and Distributions emit
+     * their full histogram (buckets, under/overflow, min/max).
+     */
     void dumpJson(std::ostream &os) const;
     std::size_t size() const { return _stats.size(); }
+
+    /** Registration map, for bulk consumers (interval sampler). */
+    const std::map<std::string, StatBase *> &all() const
+    {
+        return _stats;
+    }
 
   private:
     std::map<std::string, StatBase *> _stats;

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax checker shared by the
+ * observability tests. Validates the full RFC 8259 grammar (objects,
+ * arrays, strings with escapes, numbers, literals) without building a
+ * document tree — enough to assert that simulator output files parse.
+ */
+
+#ifndef PROTEUS_TESTS_JSON_VALIDATOR_HH
+#define PROTEUS_TESTS_JSON_VALIDATOR_HH
+
+#include <cctype>
+#include <string>
+
+namespace testjson {
+
+class Validator
+{
+  public:
+    explicit Validator(const std::string &text) : _s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return _i == _s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (_i >= _s.size())
+            return false;
+        switch (_s[_i]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_i;   // '{'
+        skipWs();
+        if (peek() == '}') { ++_i; return true; }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++_i;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++_i; continue; }
+            if (peek() == '}') { ++_i; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++_i;   // '['
+        skipWs();
+        if (peek() == ']') { ++_i; return true; }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++_i; continue; }
+            if (peek() == ']') { ++_i; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++_i;
+        while (_i < _s.size()) {
+            const char c = _s[_i];
+            if (c == '"') { ++_i; return true; }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;   // raw control character
+            if (c == '\\') {
+                ++_i;
+                if (_i >= _s.size())
+                    return false;
+                const char e = _s[_i];
+                if (e == 'u') {
+                    for (int k = 1; k <= 4; ++k) {
+                        if (_i + k >= _s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                _s[_i + k]))) {
+                            return false;
+                        }
+                    }
+                    _i += 4;
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++_i;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = _i;
+        if (peek() == '-')
+            ++_i;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++_i;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++_i;
+            if (peek() == '+' || peek() == '-')
+                ++_i;
+            if (!digits())
+                return false;
+        }
+        return _i > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = _i;
+        while (_i < _s.size() &&
+               std::isdigit(static_cast<unsigned char>(_s[_i]))) {
+            ++_i;
+        }
+        return _i > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++_i) {
+            if (_i >= _s.size() || _s[_i] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return _i < _s.size() ? _s[_i] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (_i < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_i]))) {
+            ++_i;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _i = 0;
+};
+
+inline bool
+isValidJson(const std::string &text)
+{
+    return Validator(text).valid();
+}
+
+} // namespace testjson
+
+#endif // PROTEUS_TESTS_JSON_VALIDATOR_HH

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "harness/experiments.hh"
+#include "json_validator.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace_events.hh"
 
 using namespace proteus;
 
@@ -28,6 +32,58 @@ TEST(StatsJson, WellFormedFlatObject)
     EXPECT_EQ(std::count(json.begin(), json.end(), ','), 1);
 }
 
+TEST(StatsJson, NonFiniteValuesEmitNull)
+{
+    stats::StatRegistry reg;
+    stats::Formula nan_stat(reg, "weird.nan", "", []() {
+        return std::numeric_limits<double>::quiet_NaN();
+    });
+    stats::Formula inf_stat(reg, "weird.inf", "", []() {
+        return std::numeric_limits<double>::infinity();
+    });
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testjson::isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"weird.nan\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"weird.inf\": null"), std::string::npos);
+}
+
+TEST(StatsJson, EscapesStatNames)
+{
+    stats::StatRegistry reg;
+    stats::Scalar s(reg, "odd\"name\\with\tescapes", "");
+    s += 1;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testjson::isValidJson(json)) << json;
+    EXPECT_NE(json.find("odd\\\"name\\\\with\\tescapes"),
+              std::string::npos);
+}
+
+TEST(StatsJson, DistributionEmitsBucketsAndBounds)
+{
+    stats::StatRegistry reg;
+    stats::Distribution d(reg, "lat", "", 0, 100, 4);
+    d.sample(-5);       // underflow
+    d.sample(10);
+    d.sample(60);
+    d.sample(250);      // overflow
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(testjson::isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"underflow\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"min\": -5"), std::string::npos);
+    EXPECT_NE(json.find("\"max\": 250"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\": [1, 0, 1, 0]"),
+              std::string::npos);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+}
+
 TEST(BenchOptionsParse, RecognizesAllFlags)
 {
     const char *argv[] = {"prog",    "--scale",      "25",
@@ -47,6 +103,32 @@ TEST(BenchOptionsParse, RecognizesAllFlags)
     EXPECT_FALSE(cfg.mem.nvmMode);      // --dram
     EXPECT_FALSE(cfg.memCtrl.adr);      // --set override
     EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(BenchOptionsParse, ObservabilityFlags)
+{
+    const char *argv[] = {"prog",
+                          "--stats-interval", "1000",
+                          "--stats-out", "iv.json",
+                          "--trace-events", "trace.json",
+                          "--trace-categories", "cpu,log"};
+    BenchOptions opts = BenchOptions::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    const SystemConfig cfg = opts.makeConfig();
+    EXPECT_EQ(cfg.obs.statsInterval, 1000u);
+    EXPECT_EQ(cfg.obs.statsOut, "iv.json");
+    EXPECT_EQ(cfg.obs.traceEvents, "trace.json");
+    EXPECT_EQ(cfg.obs.traceCategories,
+              unsigned{TraceCatCpu | TraceCatLog});
+}
+
+TEST(BenchOptionsParse, StatsIntervalWithoutOutIsFatal)
+{
+    const char *argv[] = {"prog", "--stats-interval", "100"};
+    BenchOptions opts = BenchOptions::parse(
+        3, const_cast<char **>(argv));
+    EXPECT_THROW(opts.makeConfig(), FatalError);
 }
 
 TEST(BenchOptionsParse, UnknownFlagIsFatal)

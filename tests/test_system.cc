@@ -85,6 +85,33 @@ INSTANTIATE_TEST_SUITE_P(
                std::string(toString(std::get<1>(info.param)));
     });
 
+TEST(SystemIntegration2, CpiStackSumsToCoreCyclesUnderEveryScheme)
+{
+    for (LogScheme scheme :
+         {LogScheme::PMEM, LogScheme::PMEMPCommit, LogScheme::PMEMNoLog,
+          LogScheme::ATOM, LogScheme::Proteus,
+          LogScheme::ProteusNoLWR}) {
+        SystemConfig cfg = baselineConfig();
+        cfg.logging.scheme = scheme;
+        cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
+        FullSystem system(cfg, WorkloadKind::Queue, tinyParams());
+        const RunResult result = system.run(500'000'000ull);
+        ASSERT_TRUE(result.finished) << toString(scheme);
+
+        // Exactly one bucket is charged per core cycle, so the stack
+        // sums to the core's cycle count with no residue at all.
+        std::uint64_t core_cycles = 0;
+        for (unsigned t = 0; t < system.coreCount(); ++t) {
+            const Core &core = system.core(t);
+            EXPECT_EQ(core.cpiStack().total(), core.cycles())
+                << toString(scheme) << " core " << t;
+            core_cycles += core.cycles();
+        }
+        EXPECT_EQ(result.cpi.total(), core_cycles) << toString(scheme);
+        EXPECT_GT(result.cpi.base, 0u) << toString(scheme);
+    }
+}
+
 TEST(SystemIntegration2, ProteusDropsMostLogWrites)
 {
     SystemConfig cfg = baselineConfig();

@@ -8,7 +8,9 @@
  *   proteus-sim list
  *
  * plus the shared options every harness binary takes: --scale,
- * --init-scale, --threads, --seed, --dram, --set key=value.
+ * --init-scale, --threads, --seed, --dram, --set key=value, and the
+ * observability flags --stats-interval/--stats-out/--trace-events/
+ * --trace-categories.
  */
 
 #include <cstring>
@@ -48,6 +50,16 @@ usage()
         << "  --seed N           workload RNG seed\n"
         << "  --dram             DRAM timing (Section 7.2)\n"
         << "  --set k=v          config override\n\n"
+        << "observability (run/crash/matrix):\n"
+        << "  --stats-interval N sample scalar-stat deltas every N "
+        << "cycles\n"
+        << "  --stats-out FILE   interval time series (.json or .csv)\n"
+        << "  --trace-events FILE\n"
+        << "                     Chrome Trace Event JSON; open in "
+        << "Perfetto (ui.perfetto.dev)\n"
+        << "  --trace-categories LIST\n"
+        << "                     comma list of cpu,memctrl,log,lock,all"
+        << " (default all)\n\n"
         << "options (matrix):\n"
         << "  --jobs N           host worker threads (0 = all cores)\n"
         << "  --json FILE        write per-run result rows as JSON\n";
