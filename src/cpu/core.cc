@@ -864,6 +864,7 @@ Core::doRetire(DynInst &inst, Tick now)
             _mc.atomTxEnd(_id, tx, nullptr);
         }
         _committedTxs.push_back(tx);
+        _commitCycles.push_back(now);
         ++_committedTxStat;
         if (_traceSink && _trkTx) {
             _traceSink->complete(TraceCatCpu, _trkTx,

@@ -126,6 +126,12 @@ class Core : public Ticked
     /** Transactions whose durability point has been reached, in order. */
     const std::vector<TxId> &committedTxs() const { return _committedTxs; }
 
+    /** Cycle at which each committedTxs() entry became durable. */
+    const std::vector<Tick> &commitCycles() const
+    {
+        return _commitCycles;
+    }
+
     /** Enable the persist-ordering invariant checker (tests). */
     void setOrderingChecks(bool on) { _checkOrdering = on; }
 
@@ -296,6 +302,7 @@ class Core : public Ticked
     /// @}
 
     std::vector<TxId> _committedTxs;
+    std::vector<Tick> _commitCycles;    ///< parallel to _committedTxs
 
     /// @name Commit-slot attribution and trace emission
     /// @{

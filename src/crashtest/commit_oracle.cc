@@ -1,0 +1,291 @@
+#include "commit_oracle.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "heap/persistent_heap.hh"
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+/** txIndex of writes recorded outside any transaction. */
+constexpr std::uint32_t noTx = 0xFFFF'FFFFu;
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+std::string
+OracleReport::summary() const
+{
+    if (ok) {
+        return "ok: " + std::to_string(bytesChecked) +
+               " bytes checked, " + std::to_string(bytesSkipped) +
+               " skipped";
+    }
+    return std::to_string(violationCount) + " violating bytes (" +
+           std::to_string(bytesChecked) + " checked)";
+}
+
+void
+CommitOracle::onTxBegin(CoreId thread, TxId tx)
+{
+    if (thread >= _txOrder.size())
+        _txOrder.resize(thread + 1);
+    TxInfo info;
+    info.thread = thread;
+    info.id = tx;
+    info.perThreadIndex = _txOrder[thread].size();
+    _txIndexById.emplace(tx, static_cast<std::uint32_t>(_txs.size()));
+    _txs.push_back(info);
+    _txOrder[thread].push_back(tx);
+}
+
+void
+CommitOracle::onTxEnd(CoreId thread, TxId tx)
+{
+    (void)thread;
+    (void)tx;
+}
+
+void
+CommitOracle::onStore(CoreId thread, TxId tx, Addr addr, unsigned size,
+                      std::uint64_t before, std::uint64_t after,
+                      ObservedWrite kind)
+{
+    (void)thread;
+    // Only the persistent data region is durable state worth checking;
+    // the log areas are scheme-internal and consumed by recovery.
+    if (!PersistentHeap::isPersistent(addr) ||
+        PersistentHeap::isLogArea(addr)) {
+        return;
+    }
+
+    std::uint32_t tx_index = noTx;
+    if (tx != 0) {
+        const auto it = _txIndexById.find(tx);
+        if (it == _txIndexById.end())
+            panic("CommitOracle: store from an unknown transaction");
+        tx_index = it->second;
+    }
+
+    for (unsigned i = 0; i < size; ++i) {
+        ByteHistory &hist = _bytes[addr + i];
+        if (hist.writes.empty())
+            hist.initial =
+                static_cast<std::uint8_t>((before >> (8 * i)) & 0xFF);
+        ByteWrite w;
+        w.txIndex = tx_index;
+        w.value = static_cast<std::uint8_t>((after >> (8 * i)) & 0xFF);
+        w.kind = kind;
+        // Consecutive writes by the same transaction to the same byte
+        // collapse to the last value — only the final value per
+        // transaction is observable after recovery (undo is
+        // earliest-entry-per-granule, redo is absent).
+        if (!hist.writes.empty() &&
+            hist.writes.back().txIndex == tx_index &&
+            hist.writes.back().kind == kind) {
+            hist.writes.back().value = w.value;
+        } else {
+            hist.writes.push_back(w);
+        }
+    }
+}
+
+const std::vector<TxId> &
+CommitOracle::txOrder(CoreId thread) const
+{
+    static const std::vector<TxId> empty;
+    return thread < _txOrder.size() ? _txOrder[thread] : empty;
+}
+
+std::uint64_t
+CommitOracle::replayCount(const OracleReport &report,
+                          std::uint64_t committed)
+{
+    return committed +
+           (report.inDoubt == InDoubtOutcome::Committed ? 1 : 0);
+}
+
+OracleReport
+CommitOracle::check(const MemoryImage &image,
+                    const std::vector<std::uint64_t> &committed_per_thread,
+                    std::size_t max_violations) const
+{
+    OracleReport report;
+
+    auto committedOf = [&](CoreId thread) -> std::uint64_t {
+        return thread < committed_per_thread.size()
+                   ? committed_per_thread[thread]
+                   : 0;
+    };
+
+    // Per-byte vote of an in-doubt transaction, kept until all bytes
+    // are classified so a torn transaction can name its minority bytes.
+    struct InDoubtByte
+    {
+        Addr addr;
+        std::uint8_t committedValue;    ///< rolled-back expectation
+        std::uint8_t inDoubtValue;      ///< committed expectation
+        std::uint8_t actual;
+        bool votesCommit;
+    };
+    std::map<std::uint32_t, std::vector<InDoubtByte>> inDoubtVotes;
+
+    auto addViolation = [&](const OracleViolation &v) {
+        report.ok = false;
+        ++report.violationCount;
+        if (report.violations.size() < max_violations)
+            report.violations.push_back(v);
+    };
+
+    for (const auto &[addr, hist] : _bytes) {
+        // Classify the byte's writers against the crash point.
+        bool skip = false;
+        bool has_in_doubt = false;
+        std::uint8_t committed_value = hist.initial;
+        std::uint8_t in_doubt_value = hist.initial;
+        std::uint32_t in_doubt_tx = noTx;
+        std::uint32_t last_committed_tx = noTx;
+        for (const ByteWrite &w : hist.writes) {
+            if (w.kind == ObservedWrite::Raw || w.txIndex == noTx) {
+                // storeRaw is neither logged nor persist-ordered: the
+                // byte's durable state is unpredictable.
+                skip = true;
+                break;
+            }
+            const TxInfo &tx = _txs[w.txIndex];
+            const std::uint64_t cut = committedOf(tx.thread);
+            if (tx.perThreadIndex < cut) {
+                committed_value = w.value;
+                in_doubt_value = w.value;
+                last_committed_tx = w.txIndex;
+            } else if (tx.perThreadIndex == cut) {
+                if (w.kind == ObservedWrite::Unlogged) {
+                    // Unlogged write of an uncommitted transaction
+                    // (storeInit / pmem+nolog): recovery cannot roll it
+                    // back and durability is not ordered — the byte may
+                    // hold anything.
+                    skip = true;
+                    break;
+                }
+                has_in_doubt = true;
+                in_doubt_value = w.value;
+                in_doubt_tx = w.txIndex;
+            }
+            // perThreadIndex > cut: the transaction never started in
+            // the timing run (its stores cannot retire before the
+            // in-doubt tx-end does); no durable trace of it may exist,
+            // which the committed_value comparison enforces.
+        }
+        if (skip) {
+            ++report.bytesSkipped;
+            continue;
+        }
+        ++report.bytesChecked;
+
+        std::uint8_t actual = 0;
+        image.read(addr, &actual, 1);
+
+        if (has_in_doubt && in_doubt_value != committed_value) {
+            if (actual != committed_value && actual != in_doubt_value) {
+                OracleViolation v;
+                v.addr = addr;
+                v.expected = committed_value;
+                v.actual = actual;
+                v.alternative = in_doubt_value;
+                v.guiltyTx = _txs[in_doubt_tx].id;
+                v.note = "byte matches neither the rolled-back nor the "
+                         "committed value of the in-doubt tx";
+                addViolation(v);
+                continue;
+            }
+            InDoubtByte b;
+            b.addr = addr;
+            b.committedValue = committed_value;
+            b.inDoubtValue = in_doubt_value;
+            b.actual = actual;
+            b.votesCommit = actual == in_doubt_value;
+            inDoubtVotes[in_doubt_tx].push_back(b);
+            continue;
+        }
+
+        if (actual != committed_value) {
+            OracleViolation v;
+            v.addr = addr;
+            v.expected = committed_value;
+            v.actual = actual;
+            v.alternative = committed_value;
+            if (last_committed_tx != noTx) {
+                v.guiltyTx = _txs[last_committed_tx].id;
+                v.note = "committed write lost or overwritten";
+            } else {
+                v.note = "pre-existing byte corrupted";
+            }
+            // A surviving value of a never-started or in-flight
+            // transaction is the sharper diagnosis when it matches.
+            std::uint8_t chain = hist.initial;
+            for (const ByteWrite &w : hist.writes) {
+                chain = w.value;
+                const TxInfo &tx = _txs[w.txIndex];
+                if (tx.perThreadIndex >= committedOf(tx.thread) &&
+                    chain == actual) {
+                    v.guiltyTx = tx.id;
+                    v.note = "write of uncommitted tx survived recovery";
+                    break;
+                }
+            }
+            addViolation(v);
+        }
+    }
+
+    // Atomicity of each in-doubt transaction: its bytes must vote
+    // unanimously. (With one thread there is at most one such tx.)
+    for (const auto &[tx_index, bytes] : inDoubtVotes) {
+        std::size_t commit_votes = 0;
+        for (const InDoubtByte &b : bytes)
+            commit_votes += b.votesCommit ? 1 : 0;
+        const TxId tx_id = _txs[tx_index].id;
+        if (commit_votes == 0 || commit_votes == bytes.size()) {
+            if (report.inDoubt != InDoubtOutcome::Torn) {
+                report.inDoubt = commit_votes
+                                     ? InDoubtOutcome::Committed
+                                     : InDoubtOutcome::RolledBack;
+                report.inDoubtTx = tx_id;
+            }
+            continue;
+        }
+        // Torn: report the minority bytes as the diff.
+        report.inDoubt = InDoubtOutcome::Torn;
+        report.inDoubtTx = tx_id;
+        const bool minority_commit = commit_votes * 2 < bytes.size();
+        for (const InDoubtByte &b : bytes) {
+            if (b.votesCommit != minority_commit)
+                continue;
+            OracleViolation v;
+            v.addr = b.addr;
+            v.expected = minority_commit ? b.committedValue
+                                         : b.inDoubtValue;
+            v.actual = b.actual;
+            v.alternative = minority_commit ? b.inDoubtValue
+                                            : b.committedValue;
+            v.guiltyTx = tx_id;
+            v.note = "in-doubt tx " + std::to_string(tx_id) +
+                     " is torn at " + hexAddr(b.addr);
+            addViolation(v);
+        }
+    }
+
+    return report;
+}
+
+} // namespace proteus

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Crash injection, recovery, and oracle checking over full systems.
+ *
+ * A CrashTester drives one FullSystem per (scheme, workload) pair
+ * through an ascending series of crash points. At each point it
+ * materializes the crash image non-destructively (NVM plus the
+ * battery-drained queues under ADR), runs the scheme's recovery on the
+ * copy, and confronts the result with the CommitOracle's per-byte
+ * expectations, the workload's structural invariants, and — for
+ * single-threaded runs — an end-to-end serialize comparison against a
+ * functional replay of exactly the committed prefix.
+ *
+ * Crash points come from a fixed list (--crash-at), a cycle stride
+ * (--crash-stride / --sweep), or a seeded fuzzer (--fuzz); every mode
+ * is deterministic given the seed, and results are bit-identical at
+ * any --jobs level (pairs are independent machines; rows land in
+ * submission order).
+ */
+
+#ifndef PROTEUS_CRASHTEST_CRASH_TESTER_HH
+#define PROTEUS_CRASHTEST_CRASH_TESTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "commit_oracle.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/system.hh"
+#include "recovery/recovery.hh"
+
+namespace proteus {
+
+/** How crash points are chosen within one (scheme, workload) run. */
+enum class CrashMode
+{
+    Stride,     ///< every N cycles (0 = auto: ~points per run)
+    Points,     ///< explicit cycle list
+    Fuzz,       ///< seeded-random cycles in (0, totalCycles)
+};
+
+const char *toString(CrashMode mode);
+
+/** Options of one crash-testing campaign. */
+struct CrashTestOptions
+{
+    std::vector<LogScheme> schemes;
+    std::vector<WorkloadKind> workloads;
+    unsigned threads = 1;
+    unsigned scale = 250;
+    unsigned initScale = 100;
+    /** Workload seed and fuzz base seed; echoed in every report. */
+    std::uint64_t seed = 11;
+    CrashMode mode = CrashMode::Stride;
+    Tick stride = 0;                ///< Stride mode; 0 = auto
+    unsigned autoPoints = 50;       ///< target points for auto stride
+    std::vector<Tick> points;       ///< Points mode, cycles
+    unsigned fuzzCount = 50;        ///< Fuzz mode draws per pair
+    unsigned jobs = 1;              ///< host workers over pairs
+    std::string jsonPath;           ///< "" = no JSON output
+    std::size_t maxViolations = 8;  ///< materialized per crash point
+    /**
+     * Test-only hook: skip recovery so in-flight state survives into
+     * the checked image. The oracle must then report violations — this
+     * is how the subsystem's own detection power is regression-tested.
+     */
+    bool breakRecovery = false;
+    bool checkSerialization = true; ///< committed-prefix replay compare
+    bool verbose = false;
+};
+
+/** Outcome of one crash point. */
+struct CrashPointResult
+{
+    Tick crashCycle = 0;
+    std::uint64_t committed = 0;        ///< tx-ends retired, all threads
+    std::uint64_t replayed = 0;         ///< prefix used for serialize cmp
+    OracleReport oracle;
+    bool invariantsOk = true;
+    std::string invariantError;
+    bool serializeOk = true;
+    std::string serializeError;
+    bool truncatedTail = false;         ///< any thread's log scan
+    std::uint64_t tornSlots = 0;        ///< summed over threads
+    bool ok = true;
+};
+
+/** Outcome of one (scheme, workload) pair. */
+struct CrashPairResult
+{
+    LogScheme scheme{};
+    WorkloadKind workload{};
+    Tick totalCycles = 0;               ///< full-run length
+    std::uint64_t totalTxs = 0;         ///< recorded transactions
+    std::vector<CrashPointResult> points;
+    std::uint64_t violations = 0;       ///< oracle + invariant + serialize
+    std::vector<std::string> failureReports;    ///< human-readable
+};
+
+/** Campaign outcome. */
+struct CrashTestSummary
+{
+    std::vector<CrashPairResult> pairs;
+    std::uint64_t crashPoints = 0;
+    std::uint64_t violations = 0;
+    bool ok = true;
+};
+
+/**
+ * Run per-thread recovery for @p system's scheme against @p image
+ * (in place) and return the per-thread results. PMEMNoLog has no
+ * recovery and returns empty results.
+ */
+std::vector<RecoveryResult> recoverAllThreads(FullSystem &system,
+                                              MemoryImage &image);
+
+/**
+ * Run the campaign described by @p opts; progress and failure reports
+ * go to @p os. Writes JSON to opts.jsonPath if set. The returned
+ * summary (and the JSON) is bit-identical for any opts.jobs value.
+ */
+CrashTestSummary runCrashTests(const CrashTestOptions &opts,
+                               std::ostream &os);
+
+/** The single command line that reproduces @p pair's campaign cell. */
+std::string replayCommand(const CrashTestOptions &opts,
+                          const CrashPairResult &pair);
+
+} // namespace proteus
+
+#endif // PROTEUS_CRASHTEST_CRASH_TESTER_HH

@@ -85,59 +85,47 @@ ParallelRunner::ParallelRunner(unsigned jobs) : _workers(jobs)
     }
 }
 
-std::vector<SimJobResult>
-ParallelRunner::run(const std::vector<SimJob> &batch,
-                    const BenchOptions &opts, ProgressReporter *progress)
+std::vector<double>
+ParallelRunner::runTasks(const std::vector<Task> &tasks,
+                         ProgressReporter *progress)
 {
-    std::vector<SimJobResult> results(batch.size());
-    std::vector<std::exception_ptr> errors(batch.size());
+    std::vector<double> wallMs(tasks.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
 
     const std::size_t pool =
-        std::min<std::size_t>(_workers, batch.size());
+        std::min<std::size_t>(_workers, tasks.size());
     if (progress)
-        progress->beginBatch(batch.size(),
+        progress->beginBatch(tasks.size(),
                              static_cast<unsigned>(pool ? pool : 1));
 
-    // Jobs are claimed from a shared counter; results are written to
-    // the claimed index, so ordering is submission order no matter
-    // which worker finishes first.
+    // Tasks are claimed from a shared counter; each closure writes to
+    // its own submission-indexed storage, so ordering is submission
+    // order no matter which worker finishes first.
     std::atomic<std::size_t> next{0};
     auto work = [&]() {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= batch.size())
+            if (i >= tasks.size())
                 return;
-            SimJob job = batch[i];
-            if (batch.size() > 1) {
-                // Observability outputs must not collide across jobs:
-                // derive a per-job file name from the submission index
-                // (deterministic, so --jobs N matches --jobs 1).
-                job.cfg.obs.statsOut =
-                    perJobPath(job.cfg.obs.statsOut, i);
-                job.cfg.obs.traceEvents =
-                    perJobPath(job.cfg.obs.traceEvents, i);
-            }
             if (progress)
-                progress->jobStarted(job.label);
+                progress->jobStarted(tasks[i].label);
             const auto start = std::chrono::steady_clock::now();
             try {
-                results[i].result = runExperiment(
-                    job.cfg, job.scheme, job.kind, opts, job.llOpts);
+                tasks[i].fn();
             } catch (...) {
                 errors[i] = std::current_exception();
             }
-            results[i].wallMs =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+            wallMs[i] = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
             if (progress)
-                progress->jobFinished(job.label, results[i].wallMs);
+                progress->jobFinished(tasks[i].label, wallMs[i]);
         }
     };
     if (pool <= 1) {
         // Sequential fast path: no thread overhead at --jobs 1 or for
-        // single-job batches.
+        // single-task batches.
         work();
     } else {
         std::vector<std::thread> threads;
@@ -152,6 +140,36 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
         if (e)
             std::rethrow_exception(e);
     }
+    return wallMs;
+}
+
+std::vector<SimJobResult>
+ParallelRunner::run(const std::vector<SimJob> &batch,
+                    const BenchOptions &opts, ProgressReporter *progress)
+{
+    std::vector<SimJobResult> results(batch.size());
+    std::vector<Task> tasks;
+    tasks.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        tasks.push_back(Task{batch[i].label, [&, i]() {
+            SimJob job = batch[i];
+            if (batch.size() > 1) {
+                // Observability outputs must not collide across jobs:
+                // derive a per-job file name from the submission index
+                // (deterministic, so --jobs N matches --jobs 1).
+                job.cfg.obs.statsOut =
+                    perJobPath(job.cfg.obs.statsOut, i);
+                job.cfg.obs.traceEvents =
+                    perJobPath(job.cfg.obs.traceEvents, i);
+            }
+            results[i].result = runExperiment(job.cfg, job.scheme,
+                                              job.kind, opts,
+                                              job.llOpts);
+        }});
+    }
+    const std::vector<double> wallMs = runTasks(tasks, progress);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        results[i].wallMs = wallMs[i];
     return results;
 }
 

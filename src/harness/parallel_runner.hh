@@ -14,6 +14,7 @@
 #ifndef PROTEUS_HARNESS_PARALLEL_RUNNER_HH
 #define PROTEUS_HARNESS_PARALLEL_RUNNER_HH
 
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -83,6 +84,18 @@ class ProgressReporter
 class ParallelRunner
 {
   public:
+    /**
+     * One arbitrary unit of pool work (crash sweeps, custom batches).
+     * The closure owns its own result storage — tasks claimed from the
+     * shared counter write to submission-indexed slots, so batches stay
+     * bit-identical at any worker count.
+     */
+    struct Task
+    {
+        std::string label;          ///< progress text
+        std::function<void()> fn;
+    };
+
     /** @p jobs worker threads; 0 means hardware_concurrency. */
     explicit ParallelRunner(unsigned jobs);
 
@@ -98,6 +111,15 @@ class ParallelRunner
     std::vector<SimJobResult> run(const std::vector<SimJob> &batch,
                                   const BenchOptions &opts,
                                   ProgressReporter *progress = nullptr);
+
+    /**
+     * Run @p tasks on the pool and return each task's host wall-clock
+     * in milliseconds, indexed by submission order. The first task
+     * exception (in submission order) is rethrown after the batch
+     * drains.
+     */
+    std::vector<double> runTasks(const std::vector<Task> &tasks,
+                                 ProgressReporter *progress = nullptr);
 
   private:
     unsigned _workers;

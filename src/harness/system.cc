@@ -6,7 +6,8 @@ namespace proteus {
 
 FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                        const WorkloadParams &params,
-                       const LinkedListOptions &ll_opts)
+                       const LinkedListOptions &ll_opts,
+                       TraceWriteObserver *trace_observer)
     : _cfg(cfg)
 {
     if (params.threads > cfg.cores)
@@ -30,7 +31,15 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
         makeWorkload(kind, *_heap, _cfg.logging.scheme, params, ll_opts);
     _workload->setup();
     _heap->syncNvmToVolatile();
+    if (trace_observer) {
+        for (unsigned t = 0; t < params.threads; ++t)
+            _workload->builder(t).setWriteObserver(trace_observer);
+    }
     _workload->generateTraces();
+    if (trace_observer) {
+        for (unsigned t = 0; t < params.threads; ++t)
+            _workload->builder(t).setWriteObserver(nullptr);
+    }
 
     // Timing phase wiring. Registration order defines intra-cycle
     // evaluation: memory first, then cores.
@@ -137,11 +146,23 @@ FullSystem::runFor(Tick cycles)
     _sim->run(cycles);
 }
 
+void
+FullSystem::crashNow()
+{
+    _sim->events().clear();
+}
+
 MemoryImage
 FullSystem::crashImage() const
 {
+    return crashImage(_cfg.memCtrl.adr);
+}
+
+MemoryImage
+FullSystem::crashImage(bool with_adr) const
+{
     MemoryImage image = _heap->nvmImage();
-    if (_cfg.memCtrl.adr)
+    if (with_adr)
         _mc->applyBatteryDrain(image);
     return image;
 }

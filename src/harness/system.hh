@@ -43,9 +43,15 @@ struct RunResult
 class FullSystem
 {
   public:
+    /**
+     * @p trace_observer, when set, watches every transactional write
+     * as the workload's traces are recorded (the crash oracle hook);
+     * it must outlive trace generation but is not retained afterwards.
+     */
     FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                const WorkloadParams &params,
-               const LinkedListOptions &ll_opts = {});
+               const LinkedListOptions &ll_opts = {},
+               TraceWriteObserver *trace_observer = nullptr);
 
     ~FullSystem();
 
@@ -63,9 +69,20 @@ class FullSystem
 
     /**
      * The crash image: NVM contents plus, under ADR, the battery-backed
-     * WPQ/LPQ contents (Section 2.1).
+     * WPQ/LPQ contents (Section 2.1). The parameterless form follows
+     * the configured persistency-domain boundary; the explicit form
+     * materializes either semantics (crash injection compares both).
      */
     MemoryImage crashImage() const;
+    MemoryImage crashImage(bool with_adr) const;
+
+    /**
+     * Destructive crash: drop every pending event so the machine can
+     * make no further progress (power is gone; in-flight NVM accesses,
+     * fills, and log writes never complete). Snapshot the crash image
+     * before or after — crashImage() itself is non-destructive.
+     */
+    void crashNow();
 
     Simulator &sim() { return *_sim; }
     PersistentHeap &heap() { return *_heap; }

@@ -1,5 +1,8 @@
 #include "memory_image.hh"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace proteus {
 
 MemoryImage::MemoryImage(const MemoryImage &other)
@@ -69,6 +72,72 @@ MemoryImage::write(Addr addr, const void *src, std::size_t n)
         addr += chunk;
         n -= chunk;
     }
+}
+
+std::vector<MemoryImage::DiffEntry>
+MemoryImage::diff(const MemoryImage &other,
+                  std::size_t max_entries) const
+{
+    // The page maps are unordered; walk the sorted union of page
+    // indices so the result is deterministic and address-ordered.
+    std::vector<Addr> indices;
+    indices.reserve(_pages.size() + other._pages.size());
+    for (const auto &[index, page] : _pages)
+        indices.push_back(index);
+    for (const auto &[index, page] : other._pages) {
+        if (_pages.find(index) == _pages.end())
+            indices.push_back(index);
+    }
+    std::sort(indices.begin(), indices.end());
+
+    std::vector<DiffEntry> entries;
+    static const Page zeroPage{};
+    for (const Addr index : indices) {
+        const Page *lhs = peek(index);
+        const Page *rhs = other.peek(index);
+        if (lhs == nullptr)
+            lhs = &zeroPage;
+        if (rhs == nullptr)
+            rhs = &zeroPage;
+        if (lhs == rhs ||
+            std::memcmp(lhs->data(), rhs->data(), pageBytes) == 0) {
+            continue;
+        }
+        for (std::size_t off = 0; off < pageBytes; off += 8) {
+            std::uint64_t l, r;
+            std::memcpy(&l, lhs->data() + off, 8);
+            std::memcpy(&r, rhs->data() + off, 8);
+            if (l == r)
+                continue;
+            if (entries.size() >= max_entries)
+                return entries;
+            entries.push_back(DiffEntry{(index << pageBits) + off,
+                                        l, r});
+        }
+    }
+    return entries;
+}
+
+std::string
+MemoryImage::formatDiff(const std::vector<DiffEntry> &entries,
+                        std::size_t max_lines)
+{
+    std::string out;
+    const std::size_t shown = std::min(entries.size(), max_lines);
+    for (std::size_t i = 0; i < shown; ++i) {
+        char line[96];
+        std::snprintf(line, sizeof(line),
+                      "  0x%012llx: 0x%016llx != 0x%016llx\n",
+                      static_cast<unsigned long long>(entries[i].addr),
+                      static_cast<unsigned long long>(entries[i].lhs),
+                      static_cast<unsigned long long>(entries[i].rhs));
+        out += line;
+    }
+    if (entries.size() > shown) {
+        out += "  ... " + std::to_string(entries.size() - shown) +
+               " more differing words\n";
+    }
+    return out;
 }
 
 std::uint64_t

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -42,6 +44,30 @@ class MemoryImage
     /** Little-endian fixed-width helpers. */
     std::uint64_t read64(Addr addr) const;
     void write64(Addr addr, std::uint64_t value);
+
+    /** One differing 8-byte word between two images. */
+    struct DiffEntry
+    {
+        Addr addr = invalidAddr;    ///< 8-byte aligned
+        std::uint64_t lhs = 0;      ///< this image's word
+        std::uint64_t rhs = 0;      ///< the other image's word
+    };
+
+    /**
+     * Compare against @p other at 8-byte word granularity over the
+     * union of both images' materialized pages (untouched pages read
+     * as zero). Entries come back sorted by address; at most
+     * @p max_entries are collected, so a hit of exactly that many may
+     * mean the comparison was cut short.
+     */
+    std::vector<DiffEntry> diff(const MemoryImage &other,
+                                std::size_t max_entries = SIZE_MAX)
+        const;
+
+    /** Render up to @p max_lines entries as "addr: lhs != rhs" lines,
+     *  with a trailing elision note when entries were held back. */
+    static std::string formatDiff(const std::vector<DiffEntry> &entries,
+                                  std::size_t max_lines = 16);
 
     /** @return number of materialized pages (tests, footprint stats). */
     std::size_t pageCount() const { return _pages.size(); }

@@ -139,7 +139,8 @@ MemCtrl::write(const WriteRequest &req)
         if (req.kind == WriteKind::Log) {
             noteLogArrival(req.core, req.txId);
             ensureCore(req.core);
-            _lastLog[req.core] = LastLog{true, req.txId, req.addr};
+            _lastLog[req.core] = LastLog{true, req.txId, req.addr,
+                                         req.data};
         }
     } else {
         ++_writesAccepted;
@@ -180,11 +181,20 @@ void
 MemCtrl::noteLogArrival(CoreId core, TxId tx)
 {
     // A held tx-end marker is discarded once a log entry from the next
-    // transaction of the same thread arrives (Section 4.3).
+    // transaction of the same thread arrives (Section 4.3): the newest
+    // transaction in the durable log is now the successor, so the
+    // marker can never be consulted. With log write removal the marker
+    // is the sole remnant of its transaction and the entry is elided
+    // outright; without it the record doubles as a live data entry
+    // whose NVM write must still be paid, so only the marker role is
+    // dropped and the entry drains as an ordinary log write.
     for (auto it = _lpq.begin(); it != _lpq.end(); ++it) {
         if (it->marker && it->req.core == core && it->req.txId != tx) {
             ++_markersDropped;
-            _lpq.erase(it);
+            if (_logWriteRemoval)
+                _lpq.erase(it);
+            else
+                it->marker = false;
             break;
         }
     }
@@ -251,14 +261,16 @@ MemCtrl::txEnd(CoreId core, TxId tx)
         return;
     }
 
-    // Every entry already spilled to NVM: update the last entry's
-    // metadata in place so recovery can see the transaction committed.
+    // Every entry already left the LPQ: rewrite the last entry with its
+    // tx-end flag set so recovery can see the transaction committed.
+    // The retained acceptance-time bytes are used — the entry's own
+    // write may still be in flight to the array, so reading the NVM
+    // slot back here could return stale pre-entry contents and the
+    // rewrite would then destroy the entry.
     if (core < _lastLog.size() && _lastLog[core].valid &&
         _lastLog[core].tx == tx) {
         const LastLog &last = _lastLog[core];
-        std::array<std::uint8_t, logEntrySize> bytes{};
-        _nvm.read(last.addr, bytes.data(), bytes.size());
-        LogRecord rec = LogRecord::fromBytes(bytes.data());
+        LogRecord rec = LogRecord::fromBytes(last.data.data());
         rec.flags |= LogRecord::flagTxEnd;
 
         if (canAcceptWrite(WriteKind::Log)) {

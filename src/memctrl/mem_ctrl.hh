@@ -251,12 +251,16 @@ class MemCtrl : public Ticked
     std::vector<std::function<void()>> _coreFlushWaiters;
     unsigned _coreFlushWaiterCount = 0;
 
-    /** Last accepted Proteus log entry per core: (tx, log-to address). */
+    /** Last accepted Proteus log entry per core. The record bytes are
+     *  retained because the tx-end metadata update must not read the
+     *  NVM slot back: the entry's own write may still be in flight, and
+     *  a read would return the slot's stale (pre-entry) contents. */
     struct LastLog
     {
         bool valid = false;
         TxId tx = 0;
         Addr addr = invalidAddr;
+        std::array<std::uint8_t, blockSize> data{};
     };
     std::vector<LastLog> _lastLog;
 

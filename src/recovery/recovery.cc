@@ -7,19 +7,73 @@
 
 namespace proteus {
 
-std::vector<LogRecord>
-Recovery::scanLog(const MemoryImage &image, Addr log_start, Addr log_end)
+namespace {
+
+bool
+isAllZero(const std::uint8_t *bytes, std::size_t n)
 {
-    std::vector<LogRecord> records;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (bytes[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Recovery::LogScan
+Recovery::scanLogContiguous(const MemoryImage &image, Addr log_start,
+                            Addr log_end)
+{
+    LogScan scan;
     for (Addr slot = log_start; slot + logEntrySize <= log_end;
          slot += logEntrySize) {
         std::uint8_t bytes[logEntrySize];
         image.read(slot, bytes, sizeof(bytes));
         const LogRecord rec = LogRecord::fromBytes(bytes);
-        if (rec.valid())
-            records.push_back(rec);
+        ++scan.slotsScanned;
+        if (!rec.valid()) {
+            // First invalid slot: the writer fills this area from the
+            // base, so nothing live can follow. A nonzero slot is a
+            // torn record — report, never parse past it.
+            if (!isAllZero(bytes, sizeof(bytes))) {
+                scan.truncated = true;
+                scan.tornSlot = slot;
+                scan.tornSlots = 1;
+            }
+            break;
+        }
+        scan.records.push_back(rec);
     }
-    return records;
+    return scan;
+}
+
+Recovery::LogScan
+Recovery::scanLogSparse(const MemoryImage &image, Addr log_start,
+                        Addr log_end)
+{
+    LogScan scan;
+    for (Addr slot = log_start; slot + logEntrySize <= log_end;
+         slot += logEntrySize) {
+        std::uint8_t bytes[logEntrySize];
+        image.read(slot, bytes, sizeof(bytes));
+        const LogRecord rec = LogRecord::fromBytes(bytes);
+        ++scan.slotsScanned;
+        if (rec.valid()) {
+            scan.records.push_back(rec);
+        } else if (!isAllZero(bytes, sizeof(bytes))) {
+            ++scan.tornSlots;
+            if (scan.tornSlot == invalidAddr)
+                scan.tornSlot = slot;
+        }
+    }
+    return scan;
+}
+
+std::vector<LogRecord>
+Recovery::scanLog(const MemoryImage &image, Addr log_start, Addr log_end)
+{
+    return scanLogSparse(image, log_start, log_end).records;
 }
 
 std::uint64_t
@@ -44,8 +98,11 @@ RecoveryResult
 Recovery::recoverProteus(MemoryImage &image, Addr log_start, Addr log_end)
 {
     RecoveryResult result;
-    const auto records = scanLog(image, log_start, log_end);
+    const LogScan scan = scanLogSparse(image, log_start, log_end);
+    const auto &records = scan.records;
     result.entriesScanned = records.size();
+    result.tornSlot = scan.tornSlot;
+    result.tornSlots = scan.tornSlots;
     if (records.empty())
         return result;
 
@@ -78,9 +135,12 @@ Recovery::recoverAtom(MemoryImage &image, Addr area_start, Addr area_end)
 {
     RecoveryResult result;
     const TxId committed = image.read64(area_start);
-    const auto records =
-        scanLog(image, area_start + logEntrySize, area_end);
+    const LogScan scan =
+        scanLogSparse(image, area_start + logEntrySize, area_end);
+    const auto &records = scan.records;
     result.entriesScanned = records.size();
+    result.tornSlot = scan.tornSlot;
+    result.tornSlots = scan.tornSlots;
 
     std::vector<LogRecord> live;
     TxId newest = 0;
@@ -108,8 +168,15 @@ Recovery::recoverSoftware(MemoryImage &image, Addr log_start,
     if (flagged == 0)
         return result;  // no transaction was between steps 2 and 4
 
-    const auto records = scanLog(image, log_start, log_end);
+    // The software logger rewrites the area from its base every
+    // transaction, so the scan stops at the first invalid slot rather
+    // than parsing whatever stale bytes lie beyond a torn record.
+    const LogScan scan = scanLogContiguous(image, log_start, log_end);
+    const auto &records = scan.records;
     result.entriesScanned = records.size();
+    result.truncatedTail = scan.truncated;
+    result.tornSlot = scan.tornSlot;
+    result.tornSlots = scan.tornSlots;
 
     std::vector<LogRecord> live;
     for (const LogRecord &rec : records) {

@@ -36,12 +36,49 @@ struct RecoveryResult
     TxId undoneTx = 0;
     std::uint64_t entriesApplied = 0;
     std::uint64_t entriesScanned = 0;
+    /** The scan stopped early at a torn tail record (software logs). */
+    bool truncatedTail = false;
+    /** First slot holding a torn (nonzero but unparseable) record. */
+    Addr tornSlot = invalidAddr;
+    /** Torn slots seen; for the circular hardware areas these are
+     *  skipped (valid records may follow holes) but still reported. */
+    std::uint64_t tornSlots = 0;
 };
 
 /** Stateless recovery routines operating on a crash image. */
 class Recovery
 {
   public:
+    /** What one pass over a log region found. */
+    struct LogScan
+    {
+        std::vector<LogRecord> records;
+        bool truncated = false;     ///< contiguous scan stopped early
+        Addr tornSlot = invalidAddr;
+        std::uint64_t tornSlots = 0;
+        std::uint64_t slotsScanned = 0;
+    };
+
+    /**
+     * Scan a log the writer fills contiguously from @p log_start (the
+     * software schemes rewrite the area from its base every
+     * transaction). The scan stops cleanly at the first invalid slot —
+     * nothing live can follow it — and reports a torn tail when that
+     * slot holds a partial (nonzero) record rather than virgin zeros.
+     */
+    static LogScan scanLogContiguous(const MemoryImage &image,
+                                     Addr log_start, Addr log_end);
+
+    /**
+     * Scan a circular hardware log area in which committed entries are
+     * invalidated in place (ATOM zeroes them, Proteus LWR drops their
+     * writes), so live records may follow holes: the whole area is
+     * scanned and invalid slots skipped. Torn slots (nonzero yet
+     * unparseable) are counted and reported, never applied.
+     */
+    static LogScan scanLogSparse(const MemoryImage &image,
+                                 Addr log_start, Addr log_end);
+
     /** Parse every valid record in [@p log_start, @p log_end). */
     static std::vector<LogRecord> scanLog(const MemoryImage &image,
                                           Addr log_start, Addr log_end);

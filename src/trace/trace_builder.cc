@@ -255,12 +255,26 @@ TraceBuilder::beginTx()
         _logCursor = _logStart;     // software log overwritten per tx
 
     if (_recording) {
+        if (_writeObserver)
+            _writeObserver->onTxBegin(_thread, _currentTx);
         MicroOp mop;
         mop.op = Op::TxBegin;
         mop.data = _currentTx;
         emit(mop);
     }
     return _currentTx;
+}
+
+void
+TraceBuilder::notifyWrite(Addr addr, unsigned size, std::uint64_t value,
+                          ObservedWrite kind)
+{
+    if (!_writeObserver)
+        return;
+    std::uint64_t before = 0;
+    _heap.readBytes(addr, &before, size);
+    _writeObserver->onStore(_thread, _inTx ? _currentTx : 0, addr, size,
+                            before, value, kind);
 }
 
 Addr
@@ -455,6 +469,10 @@ TraceBuilder::store(Addr addr, unsigned size, std::uint64_t value,
             break;
           }
         }
+        notifyWrite(addr, size, value,
+                    _scheme != LogScheme::PMEMNoLog
+                        ? ObservedWrite::Logged
+                        : ObservedWrite::Unlogged);
     }
 
     _heap.writeBytes(addr, &value, size);
@@ -474,6 +492,7 @@ TraceBuilder::storeInit(Addr addr, unsigned size, std::uint64_t value,
         swOpenTxIfNeeded();
         emitStoreOp(addr, size, value, dep.reg);
         _dirtyBlocks.insert(blockAlign(addr));
+        notifyWrite(addr, size, value, ObservedWrite::Unlogged);
         _heap.writeBytes(addr, &value, size);
         return;
     }
@@ -489,8 +508,10 @@ TraceBuilder::storeRaw(Addr addr, unsigned size, std::uint64_t value,
         _heap.writeBytes(addr, &value, size);
         return;
     }
-    if (_recording)
+    if (_recording) {
         emitStoreOp(addr, size, value, dep.reg);
+        notifyWrite(addr, size, value, ObservedWrite::Raw);
+    }
     _heap.writeBytes(addr, &value, size);
 }
 
@@ -530,6 +551,8 @@ TraceBuilder::endTx()
         mop.op = Op::TxEnd;
         mop.data = _currentTx;
         emit(mop);
+        if (_writeObserver)
+            _writeObserver->onTxEnd(_thread, _currentTx);
     }
     _inTx = false;
     _currentTx = 0;

@@ -49,6 +49,53 @@ struct Value
     std::int16_t reg = noReg;
 };
 
+/**
+ * How a recorded write relates to the active scheme's failure-safety
+ * machinery — what the crash-consistency oracle may assume about it.
+ */
+enum class ObservedWrite
+{
+    /** Undo-logged: rolled back if the transaction does not commit. */
+    Logged,
+    /**
+     * Not undo-logged but persisted by commit (storeInit under software
+     * logging, every store under pmem+nolog): an uncommitted
+     * transaction leaves it in an unpredictable state.
+     */
+    Unlogged,
+    /** storeRaw: neither logged nor ordered by any persist barrier. */
+    Raw,
+};
+
+/**
+ * Observer of the program-level writes a TraceBuilder records. The
+ * crash-consistency oracle implements this to learn, in the global
+ * round-robin recording order (= the functional serialization), which
+ * transaction wrote which bytes, the pre- and post-write values, and
+ * how the active scheme treats the write (ObservedWrite). Callbacks
+ * fire only while recording, never during the conservative-logging dry
+ * run, and never for replayOps.
+ */
+class TraceWriteObserver
+{
+  public:
+    virtual ~TraceWriteObserver() = default;
+
+    /** A durable transaction was opened on @p thread. */
+    virtual void onTxBegin(CoreId thread, TxId tx) = 0;
+
+    /** The transaction's commit sequence was recorded. */
+    virtual void onTxEnd(CoreId thread, TxId tx) = 0;
+
+    /**
+     * @p size bytes at @p addr changed from @p before to @p after.
+     * @p tx is 0 for writes outside any transaction.
+     */
+    virtual void onStore(CoreId thread, TxId tx, Addr addr,
+                         unsigned size, std::uint64_t before,
+                         std::uint64_t after, ObservedWrite kind) = 0;
+};
+
 /** Records one thread's micro-op trace while executing functionally. */
 class TraceBuilder
 {
@@ -66,6 +113,12 @@ class TraceBuilder
      *  (functional warmup of the paper's InitOps). */
     void setRecording(bool on) { _recording = on; }
     bool recording() const { return _recording; }
+
+    /** Attach a write observer (crash oracle); nullptr detaches. */
+    void setWriteObserver(TraceWriteObserver *obs)
+    {
+        _writeObserver = obs;
+    }
 
     /// @name Program-level operations
     /// @{
@@ -187,11 +240,16 @@ class TraceBuilder
     void swOpenTxIfNeeded();    ///< Figure 2 steps 1-2 closing
     Addr swNextLogSlot();
 
+    /** Read the pre-image and notify the attached write observer. */
+    void notifyWrite(Addr addr, unsigned size, std::uint64_t value,
+                     ObservedWrite kind);
+
     PersistentHeap &_heap;
     LogScheme _scheme;
     CoreId _thread;
     Trace _trace;
     bool _recording = false;
+    TraceWriteObserver *_writeObserver = nullptr;
 
     /** Rotating logical registers: r0..r19 values, r24..r31 LRs. */
     static constexpr std::int16_t firstValueReg = 0;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "heap/memory_image.hh"
 
 using namespace proteus;
@@ -78,4 +81,62 @@ TEST(MemoryImage, LargeSpanRoundTrip)
     std::vector<std::uint8_t> out(data.size());
     img.read(12345, out.data(), out.size());
     EXPECT_EQ(data, out);
+}
+
+TEST(MemoryImage, DiffFindsDifferingWords)
+{
+    MemoryImage a;
+    MemoryImage b;
+    a.write64(0x100, 1);
+    b.write64(0x100, 2);
+    a.write64(0x2000, 7);       // only in a
+    b.write64(0x5008, 9);       // only in b (different page)
+    a.write64(0x400, 5);        // identical in both
+    b.write64(0x400, 5);
+
+    const auto entries = a.diff(b);
+    ASSERT_EQ(entries.size(), 3u);
+    // Sorted by address, regardless of page-map iteration order.
+    EXPECT_EQ(entries[0].addr, 0x100u);
+    EXPECT_EQ(entries[0].lhs, 1u);
+    EXPECT_EQ(entries[0].rhs, 2u);
+    EXPECT_EQ(entries[1].addr, 0x2000u);
+    EXPECT_EQ(entries[1].lhs, 7u);
+    EXPECT_EQ(entries[1].rhs, 0u);
+    EXPECT_EQ(entries[2].addr, 0x5008u);
+    EXPECT_EQ(entries[2].lhs, 0u);
+    EXPECT_EQ(entries[2].rhs, 9u);
+}
+
+TEST(MemoryImage, DiffOfIdenticalImagesIsEmpty)
+{
+    MemoryImage a;
+    a.write64(0x100, 42);
+    MemoryImage b = a;
+    EXPECT_TRUE(a.diff(b).empty());
+    EXPECT_TRUE(a.diff(a).empty());
+}
+
+TEST(MemoryImage, DiffHonorsMaxEntries)
+{
+    MemoryImage a;
+    MemoryImage b;
+    for (unsigned i = 0; i < 32; ++i)
+        a.write64(0x1000 + i * 8, i + 1);
+    const auto entries = a.diff(b, 5);
+    EXPECT_EQ(entries.size(), 5u);
+}
+
+TEST(MemoryImage, FormatDiffIsBoundedAndMentionsElision)
+{
+    MemoryImage a;
+    MemoryImage b;
+    for (unsigned i = 0; i < 12; ++i)
+        a.write64(0x1000 + i * 8, i + 1);
+    const auto entries = a.diff(b);
+    const std::string text = MemoryImage::formatDiff(entries, 4);
+    EXPECT_NE(text.find("0x000000001000"), std::string::npos);
+    EXPECT_NE(text.find("more differing words"), std::string::npos);
+    // Exactly 4 value lines plus the elision line.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
 }

@@ -332,3 +332,161 @@ TEST(RecoveryUnit, AtomCommitRecordGatesUndo)
     EXPECT_TRUE(result.didUndo);
     EXPECT_EQ(image.read64(0x5000), 0x55u);
 }
+
+TEST(RecoveryUnit, EmptyLogRegionIsANoOpForEveryScheme)
+{
+    MemoryImage image;
+    image.write64(0x5000, 0x42);
+
+    auto proteus = Recovery::recoverProteus(image, 0x9000, 0x9000 + 640);
+    EXPECT_FALSE(proteus.didUndo);
+    EXPECT_EQ(proteus.entriesScanned, 0u);
+    EXPECT_FALSE(proteus.truncatedTail);
+    EXPECT_EQ(proteus.tornSlots, 0u);
+
+    auto atom = Recovery::recoverAtom(image, 0xA000, 0xA000 + 1024);
+    EXPECT_FALSE(atom.didUndo);
+    EXPECT_EQ(atom.tornSlots, 0u);
+
+    auto sw = Recovery::recoverSoftware(image, 0x9000, 0x9000 + 640,
+                                        0x4000);
+    EXPECT_FALSE(sw.didUndo);
+    EXPECT_FALSE(sw.truncatedTail);
+
+    EXPECT_EQ(image.read64(0x5000), 0x42u);     // data untouched
+}
+
+namespace {
+
+/** Write a valid undo record into @p image at @p slot. */
+void
+putRecord(MemoryImage &image, Addr slot, TxId tx, Addr from,
+          std::uint64_t old_value, std::uint64_t seq = 0,
+          std::uint8_t extra_flags = 0)
+{
+    LogRecord rec;
+    std::memcpy(rec.data.data(), &old_value, 8);
+    rec.fromAddr = from;
+    rec.txId = tx;
+    rec.seq = seq;
+    rec.flags = LogRecord::flagValid | extra_flags;
+    rec.magic = LogRecord::magicValue;
+    const auto bytes = rec.toBytes();
+    image.write(slot, bytes.data(), bytes.size());
+}
+
+} // namespace
+
+TEST(RecoveryUnit, ContiguousScanStopsCleanlyAtTornTail)
+{
+    MemoryImage image;
+    putRecord(image, 0x9000, 7, 0x5000, 0xAA, 0);
+    // A torn tail: the next slot holds a partial record (nonzero bytes
+    // but no valid flag/magic), as a crash mid-log-write leaves it.
+    image.write64(0x9040, 0x123456);
+    // A stale record beyond the tear must NOT be picked up by the
+    // contiguous (software) scan: the log is rewritten from its base
+    // every transaction, so nothing live can follow the first hole.
+    putRecord(image, 0x9080, 99, 0x6000, 0xBB, 0);
+
+    const auto scan =
+        Recovery::scanLogContiguous(image, 0x9000, 0x9000 + 640);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].txId, 7u);
+    EXPECT_TRUE(scan.truncated);
+    EXPECT_EQ(scan.tornSlot, 0x9040u);
+    EXPECT_EQ(scan.tornSlots, 1u);
+}
+
+TEST(RecoveryUnit, SparseScanSkipsHolesAndCountsTornSlots)
+{
+    MemoryImage image;
+    putRecord(image, 0x9000, 7, 0x5000, 0xAA, 0);
+    image.write64(0x9040, 0x123456);            // torn slot
+    // All-zero slot at 0x9080: an invalidated (ATOM-truncated) hole.
+    putRecord(image, 0x90C0, 8, 0x6000, 0xBB, 0);
+
+    const auto scan =
+        Recovery::scanLogSparse(image, 0x9000, 0x9000 + 4 * 64);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].txId, 7u);
+    EXPECT_EQ(scan.records[1].txId, 8u);
+    EXPECT_EQ(scan.tornSlots, 1u);
+    EXPECT_EQ(scan.tornSlot, 0x9040u);
+    EXPECT_EQ(scan.slotsScanned, 4u);
+}
+
+TEST(RecoveryUnit, SoftwareRecoveryReportsAndSurvivesTornTail)
+{
+    MemoryImage image;
+    const Addr flag = 0x4000;
+    image.write64(0x5000, 0xFFFF);              // torn current value
+    putRecord(image, 0x9000, 42, 0x5000, 0x55, 0);
+    // The transaction's second log entry was torn by the crash.
+    image.write64(0x9040, 0xDEAD);
+    image.write64(flag, 42);                    // tx 42 was in flight
+
+    const auto result =
+        Recovery::recoverSoftware(image, 0x9000, 0x9000 + 640, flag);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_TRUE(result.truncatedTail);
+    EXPECT_EQ(result.tornSlot, 0x9040u);
+    EXPECT_EQ(result.entriesApplied, 1u);
+    EXPECT_EQ(image.read64(0x5000), 0x55u);     // valid prefix applied
+    EXPECT_EQ(image.read64(flag), 0u);          // flag cleared
+}
+
+TEST(RecoveryUnit, BackToBackTxsOnSameAddressUndoToCommittedValue)
+{
+    // tx 8 committed value 0xBB over 0xAA; tx 9 then wrote 0xCC and
+    // 0xDD in flight. Undo must use tx 9's *earliest* pre-image, which
+    // is tx 8's committed value — not tx 8's own (stale) entry.
+    MemoryImage image;
+    image.write64(0x5000, 0xDD);                // tx 9's last store
+    putRecord(image, 0x9000, 8, 0x5000, 0xAA, 0);
+    putRecord(image, 0x9040, 9, 0x5000, 0xBB, 1);
+    putRecord(image, 0x9080, 9, 0x5000, 0xCC, 2);
+
+    const auto result =
+        Recovery::recoverProteus(image, 0x9000, 0x9000 + 640);
+    EXPECT_TRUE(result.didUndo);
+    EXPECT_EQ(result.undoneTx, 9u);
+    EXPECT_EQ(image.read64(0x5000), 0xBBu);
+}
+
+TEST(CrashAtCommitPoint, DurableCommitCycleKeepsTheTransaction)
+{
+    // Crash exactly at the cycle a mid-run transaction's tx-end
+    // retires: the transaction is committed-counted and must survive
+    // recovery; the recovered state must equal the replayed prefix.
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = LogScheme::Proteus;
+
+    const WorkloadParams params = crashParams(1);
+    FullSystem reference(cfg, WorkloadKind::Queue, params);
+    const RunResult full = reference.run(500'000'000ull);
+    ASSERT_TRUE(full.finished);
+    const auto &commits = reference.core(0).commitCycles();
+    ASSERT_GT(commits.size(), 4u);
+    const std::size_t k = commits.size() / 2;
+    // runFor(T + 1) executes cycles 0..T, including the retire at T.
+    const Tick crash_at = commits[k] + 1;
+
+    FullSystem crashed(cfg, WorkloadKind::Queue, params);
+    crashed.runFor(crash_at);
+    const std::uint64_t committed =
+        crashed.core(0).committedTxs().size();
+    EXPECT_GE(committed, k + 1);
+
+    MemoryImage image = crashed.crashImage();
+    recoverAll(crashed, image);
+    EXPECT_TRUE(crashed.workload().checkInvariants(image).empty());
+
+    PersistentHeap replay_heap;
+    auto replay = makeWorkload(WorkloadKind::Queue, replay_heap,
+                               LogScheme::Proteus, params);
+    replay->setup();
+    replay->replayOps(committed);
+    EXPECT_EQ(crashed.workload().serialize(image),
+              replay->serialize(replay_heap.volatileImage()));
+}
