@@ -92,10 +92,9 @@ runMatrix(const BenchOptions &opts, const std::vector<LogScheme> &schemes,
     m.workloads = workloads;
     std::size_t i = 0;
     for (LogScheme s : schemes) {
-        for (WorkloadKind w : workloads) {
+        for (std::size_t k = 0; k < workloads.size(); ++k, ++i) {
             m.results[s].push_back(outcomes[i].result);
             m.wallMs[s].push_back(outcomes[i].wallMs);
-            ++i;
         }
     }
     return m;

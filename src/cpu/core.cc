@@ -668,7 +668,10 @@ Core::startAtomLog(DynInst &inst)
     auto snapshot = _caches.tracker().snapshot(block);
     auto submit = std::make_shared<std::function<void(unsigned)>>();
     DynInst *ip = &inst;
-    *submit = [this, ip, block, tx, snapshot, submit](unsigned next) {
+    // Self-capture must be weak or the closure keeps itself alive
+    // forever; the scheduled continuations hold the strong refs.
+    std::weak_ptr<std::function<void(unsigned)>> weak = submit;
+    *submit = [this, ip, block, tx, snapshot, weak](unsigned next) {
         if (next >= blockSize / logDataSize) {
             // Both granules accepted; the ack travels back.
             _sim.schedule(atomLogOneWay, [this, ip]() {
@@ -690,10 +693,10 @@ Core::startAtomLog(DynInst &inst)
         rec.flags = LogRecord::flagValid;
         rec.magic = LogRecord::magicValue;
         if (_mc.atomLog(_id, tx, rec))
-            (*submit)(next + 1);
+            (*weak.lock())(next + 1);
         else
-            _sim.schedule(atomLogRetry, [submit, next]() {
-                (*submit)(next);
+            _sim.schedule(atomLogRetry, [s = weak.lock(), next]() {
+                (*s)(next);
             });
     };
     // One-way trip to the MC, then submit both 32B granule records.

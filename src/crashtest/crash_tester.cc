@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "harness/trace_cache.hh"
 #include "sim/json_util.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -118,18 +119,19 @@ recoverAllThreads(FullSystem &system, MemoryImage &image)
     std::vector<RecoveryResult> results;
     const LogScheme scheme = system.config().logging.scheme;
     for (unsigned t = 0; t < system.coreCount(); ++t) {
-        TraceBuilder &tb = system.workload().builder(t);
+        // Log-area bounds live in the bundle, so recovery also works
+        // for systems wired from a cached or file-loaded bundle.
+        const TraceBundle::ThreadTrace &tt = system.bundle().threads[t];
         switch (scheme) {
           case LogScheme::PMEM:
           case LogScheme::PMEMPCommit:
             results.push_back(Recovery::recoverSoftware(
-                image, tb.logAreaStart(), tb.logAreaEnd(),
-                tb.logFlagAddr()));
+                image, tt.logStart, tt.logEnd, tt.logFlag));
             break;
           case LogScheme::Proteus:
           case LogScheme::ProteusNoLWR:
             results.push_back(Recovery::recoverProteus(
-                image, tb.logAreaStart(), tb.logAreaEnd()));
+                image, tt.logStart, tt.logEnd));
             break;
           case LogScheme::ATOM: {
             const auto [start, end] = system.atomLogArea(t);
@@ -305,11 +307,30 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
     params.initScale = opts.initScale;
     params.seed = opts.seed;
 
+    // With the cache on, one functional execution serves both the
+    // reference run and the crash-injected run; the oracle is rebuilt
+    // from the bundle's recorded write history, which is equivalent to
+    // live attachment during trace generation.
+    std::shared_ptr<const TraceBundle> bundle;
+    CommitOracle oracle;
+    if (opts.useTraceCache) {
+        TraceBundleKey key;
+        key.kind = kind;
+        key.scheme = scheme;
+        key.params = params;
+        bundle = TraceCache::global().get(key, /*want_history=*/true);
+        bundle->history->replayTo(oracle);
+    }
+
     // Reference run: the pair's total cycle count anchors the stride
     // and the fuzz range (and validates the configuration end to end).
     {
-        FullSystem reference(cfg, kind, params);
-        const RunResult full = reference.run(runCycleLimit);
+        std::unique_ptr<FullSystem> reference;
+        if (bundle)
+            reference = std::make_unique<FullSystem>(cfg, bundle);
+        else
+            reference = std::make_unique<FullSystem>(cfg, kind, params);
+        const RunResult full = reference->run(runCycleLimit);
         if (!full.finished)
             fatal("crashtest: reference run hit the cycle limit");
         pair.totalCycles = full.cycles;
@@ -318,8 +339,14 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
     const std::vector<Tick> cycles =
         crashCycles(opts, scheme, kind, pair.totalCycles);
 
-    CommitOracle oracle;
-    FullSystem sys(cfg, kind, params, {}, &oracle);
+    std::unique_ptr<FullSystem> sys_holder;
+    if (bundle)
+        sys_holder = std::make_unique<FullSystem>(cfg, bundle);
+    else
+        sys_holder =
+            std::make_unique<FullSystem>(cfg, kind, params, LinkedListOptions{},
+                                         &oracle);
+    FullSystem &sys = *sys_holder;
     pair.totalTxs = oracle.txCount();
 
     for (const Tick at : cycles) {

@@ -67,6 +67,15 @@ struct CrashTestOptions
      */
     bool breakRecovery = false;
     bool checkSerialization = true; ///< committed-prefix replay compare
+    /**
+     * Share TraceBundles through the process-global TraceCache: the
+     * reference run and the crash-injected run of each pair reuse one
+     * functional execution (the oracle is rebuilt by replaying the
+     * bundle's WriteHistory), and repeated campaigns in one process
+     * skip trace generation entirely. Results are bit-identical with
+     * the cache on or off.
+     */
+    bool useTraceCache = true;
     bool verbose = false;
 };
 

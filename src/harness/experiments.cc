@@ -7,6 +7,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "harness/trace_cache.hh"
 #include "sim/logging.hh"
 
 namespace proteus {
@@ -36,6 +37,8 @@ BenchOptions::parse(int argc, char **argv)
             opts.seed = std::stoull(next());
         } else if (arg == "--dram") {
             opts.dram = true;
+        } else if (arg == "--no-trace-cache") {
+            opts.traceCache = false;
         } else if (arg == "--set") {
             opts.overrides.push_back(next());
         } else if (arg == "--stats-interval") {
@@ -62,6 +65,8 @@ BenchOptions::parse(int argc, char **argv)
                 << "rows\n"
                 << "  --set k=v      config override, e.g. "
                 << "logging.logQEntries=8\n"
+                << "  --no-trace-cache  rebuild traces per run instead "
+                << "of sharing cached bundles\n"
                 << "  --stats-interval N  sample scalar-stat deltas "
                 << "every N cycles\n"
                 << "  --stats-out FILE    interval time series "
@@ -112,6 +117,15 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
     params.seed = opts.seed;
     params.logAreaBytes = cfg.logging.logAreaBytes;
 
+    if (opts.traceCache) {
+        TraceBundleKey key;
+        key.kind = kind;
+        key.scheme = scheme;
+        key.params = params;
+        key.llOpts = ll_opts;
+        FullSystem system(cfg, TraceCache::global().get(key));
+        return system.run();
+    }
     FullSystem system(cfg, kind, params, ll_opts);
     return system.run();
 }

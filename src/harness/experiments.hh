@@ -26,6 +26,7 @@ struct BenchOptions
     std::uint64_t seed = 1;
     bool dram = false;          ///< use the Section 7.2 DRAM config
     std::string jsonPath;       ///< write per-run JSON rows ("" = off)
+    bool traceCache = true;     ///< share TraceBundles across runs
     std::vector<std::string> overrides;
 
     /// @name Observability (see ObservabilityConfig)
@@ -38,8 +39,9 @@ struct BenchOptions
 
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
-     *  --stats-interval N, --stats-out FILE, --trace-events FILE,
-     *  and --trace-categories LIST. Exits on --help. */
+     *  --no-trace-cache, --stats-interval N, --stats-out FILE,
+     *  --trace-events FILE, and --trace-categories LIST.
+     *  Exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Baseline config with the options applied. */

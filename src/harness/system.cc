@@ -14,8 +14,46 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
         fatal("FullSystem: workload threads exceed core count");
     _cfg.cores = params.threads;    // one trace per core
 
+    TraceBundleKey key;
+    key.kind = kind;
+    key.scheme = _cfg.logging.scheme;
+    key.params = params;
+    key.llOpts = ll_opts;
+    auto bundle = TraceBundle::build(key, trace_observer);
+
+    // The bundle is private to this system, so its heap can be mutated
+    // in place — exactly the pre-bundle behavior, with no image copy.
+    _heap = bundle->heap;
+    _bundle = std::move(bundle);
+    wire();
+}
+
+FullSystem::FullSystem(const SystemConfig &cfg,
+                       std::shared_ptr<const TraceBundle> bundle)
+    : _cfg(cfg)
+{
+    if (!bundle)
+        fatal("FullSystem: null trace bundle");
+    if (bundle->key.scheme != _cfg.logging.scheme)
+        fatal("FullSystem: bundle scheme ", toString(bundle->key.scheme),
+              " does not match config scheme ",
+              toString(_cfg.logging.scheme));
+    const unsigned threads = bundle->key.params.threads;
+    if (threads > _cfg.cores)
+        fatal("FullSystem: bundle threads exceed core count");
+    _cfg.cores = threads;           // one trace per core
+
+    // Shared bundle: this machine needs its own mutable heap (timing
+    // applies durable writes to the NVM image), so copy the bundle's.
+    _heap = std::make_shared<PersistentHeap>(*bundle->heap);
+    _bundle = std::move(bundle);
+    wire();
+}
+
+void
+FullSystem::wire()
+{
     _sim = std::make_unique<Simulator>();
-    _heap = std::make_unique<PersistentHeap>();
 
     // Attach the trace sink before any timing component is built so
     // component constructors can define their tracks.
@@ -26,21 +64,6 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
         _sim->setTraceSink(_traceSink.get());
     }
 
-    // Functional phase: populate (InitOps), fast-forward, record.
-    _workload =
-        makeWorkload(kind, *_heap, _cfg.logging.scheme, params, ll_opts);
-    _workload->setup();
-    _heap->syncNvmToVolatile();
-    if (trace_observer) {
-        for (unsigned t = 0; t < params.threads; ++t)
-            _workload->builder(t).setWriteObserver(trace_observer);
-    }
-    _workload->generateTraces();
-    if (trace_observer) {
-        for (unsigned t = 0; t < params.threads; ++t)
-            _workload->builder(t).setWriteObserver(nullptr);
-    }
-
     // Timing phase wiring. Registration order defines intra-cycle
     // evaluation: memory first, then cores.
     _mc = std::make_unique<MemCtrl>(*_sim, _cfg, _heap->nvmImage());
@@ -49,12 +72,12 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
     _locks = std::make_unique<LockManager>(*_sim);
 
     _sim->addTicked(_mc.get());
-    for (unsigned t = 0; t < params.threads; ++t) {
+    for (unsigned t = 0; t < _cfg.cores; ++t) {
+        const TraceBundle::ThreadTrace &tt = _bundle->threads[t];
         _cores.push_back(std::make_unique<Core>(
-            *_sim, _cfg, static_cast<CoreId>(t), _workload->trace(t),
-            *_caches, *_mc, *_locks));
-        TraceBuilder &tb = _workload->builder(t);
-        _cores.back()->bindLogArea(tb.logAreaStart(), tb.logAreaEnd());
+            *_sim, _cfg, static_cast<CoreId>(t), tt.trace, *_caches,
+            *_mc, *_locks));
+        _cores.back()->bindLogArea(tt.logStart, tt.logEnd);
         if (_cfg.logging.scheme == LogScheme::ATOM) {
             const Addr area =
                 _heap->allocLogArea(_cfg.logging.logAreaBytes);
@@ -77,6 +100,15 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
 FullSystem::~FullSystem()
 {
     finishObservability();
+}
+
+Workload &
+FullSystem::workload()
+{
+    if (!_bundle->workload)
+        fatal("FullSystem: this system runs a trace bundle loaded from "
+              "a file; no workload object is available");
+    return *_bundle->workload;
 }
 
 void

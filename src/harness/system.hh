@@ -3,6 +3,14 @@
  * FullSystem: one complete simulated machine — workload, traces,
  * cores, caches, memory controller, NVM — wired per a SystemConfig.
  * This is the top-level object examples, tests, and benches drive.
+ *
+ * Trace state (per-thread micro-op streams, the initial heap image,
+ * log-area bounds) lives in a TraceBundle. The classic constructor
+ * builds a private bundle by executing the workload functionally; the
+ * bundle constructor wires the machine from a prebuilt shared bundle
+ * (TraceCache or a .ptrace file) without re-executing anything —
+ * results are bit-identical either way because both paths run the same
+ * wiring code over the same bundle contents.
  */
 
 #ifndef PROTEUS_HARNESS_SYSTEM_HH
@@ -14,6 +22,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "cpu/lock_manager.hh"
+#include "harness/trace_bundle.hh"
 #include "heap/persistent_heap.hh"
 #include "memctrl/mem_ctrl.hh"
 #include "sim/config.hh"
@@ -44,14 +53,27 @@ class FullSystem
 {
   public:
     /**
-     * @p trace_observer, when set, watches every transactional write
-     * as the workload's traces are recorded (the crash oracle hook);
-     * it must outlive trace generation but is not retained afterwards.
+     * Build the trace state privately and wire the machine (the
+     * classic path). @p trace_observer, when set, watches every
+     * transactional write as the workload's traces are recorded (the
+     * crash oracle hook); it must outlive trace generation but is not
+     * retained afterwards.
      */
     FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                const WorkloadParams &params,
                const LinkedListOptions &ll_opts = {},
                TraceWriteObserver *trace_observer = nullptr);
+
+    /**
+     * Wire the machine from a prebuilt bundle (TraceCache::get or
+     * loadTraceBundle). The bundle stays immutable: this system gets a
+     * private copy of the heap images, so any number of systems —
+     * across schemes' timing configs, crash points, or parallel-runner
+     * workers — can share one bundle. cfg.logging.scheme must match
+     * the bundle's scheme.
+     */
+    FullSystem(const SystemConfig &cfg,
+               std::shared_ptr<const TraceBundle> bundle);
 
     ~FullSystem();
 
@@ -86,7 +108,15 @@ class FullSystem
 
     Simulator &sim() { return *_sim; }
     PersistentHeap &heap() { return *_heap; }
-    Workload &workload() { return *_workload; }
+
+    /** The shared trace state this machine executes. */
+    const TraceBundle &bundle() const { return *_bundle; }
+
+    /** @return false for bundles loaded from a .ptrace file, which
+     *  carry no Workload object (workload() would fatal). */
+    bool hasWorkload() const { return _bundle->workload != nullptr; }
+    Workload &workload();
+
     MemCtrl &mc() { return *_mc; }
     CacheHierarchy &caches() { return *_caches; }
     Core &core(unsigned i) { return *_cores[i]; }
@@ -110,12 +140,15 @@ class FullSystem
     }
 
   private:
+    /** Build every timing component from _cfg, _heap, and _bundle. */
+    void wire();
+
     SystemConfig _cfg;
+    std::shared_ptr<const TraceBundle> _bundle;
+    std::shared_ptr<PersistentHeap> _heap;  ///< this machine's mutable heap
     std::unique_ptr<Simulator> _sim;
     std::unique_ptr<TraceEventSink> _traceSink;
     std::unique_ptr<IntervalStatsSampler> _sampler;
-    std::unique_ptr<PersistentHeap> _heap;
-    std::unique_ptr<Workload> _workload;
     std::unique_ptr<MemCtrl> _mc;
     std::unique_ptr<CacheHierarchy> _caches;
     std::unique_ptr<LockManager> _locks;

@@ -1,0 +1,148 @@
+#include "trace_bundle.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+inline void
+hashMix(std::size_t &h, std::uint64_t v)
+{
+    // splitmix64-style avalanche, folded into the running hash.
+    v ^= h + 0x9e3779b97f4a7c15ull + (v << 6) + (v >> 2);
+    v *= 0xbf58476d1ce4e5b9ull;
+    v ^= v >> 27;
+    h = static_cast<std::size_t>(v);
+}
+
+} // namespace
+
+bool
+TraceBundleKey::operator==(const TraceBundleKey &o) const
+{
+    return kind == o.kind && scheme == o.scheme &&
+           params.threads == o.params.threads &&
+           params.scale == o.params.scale &&
+           params.initScale == o.params.initScale &&
+           params.seed == o.params.seed &&
+           params.logAreaBytes == o.params.logAreaBytes &&
+           llOpts.elementsPerNode == o.llOpts.elementsPerNode;
+}
+
+std::size_t
+TraceBundleKey::hash() const
+{
+    std::size_t h = 0;
+    hashMix(h, static_cast<std::uint64_t>(kind));
+    hashMix(h, static_cast<std::uint64_t>(scheme));
+    hashMix(h, params.threads);
+    hashMix(h, params.scale);
+    hashMix(h, params.initScale);
+    hashMix(h, params.seed);
+    hashMix(h, params.logAreaBytes);
+    hashMix(h, llOpts.elementsPerNode);
+    return h;
+}
+
+std::string
+TraceBundleKey::describe() const
+{
+    std::ostringstream os;
+    os << toString(kind) << "/" << toString(scheme) << " t"
+       << params.threads << " scale" << params.scale << " init"
+       << params.initScale << " seed" << params.seed;
+    if (kind == WorkloadKind::LinkedList)
+        os << " epn" << llOpts.elementsPerNode;
+    return os.str();
+}
+
+std::shared_ptr<TraceBundle>
+TraceBundle::build(const TraceBundleKey &key,
+                   TraceWriteObserver *extra_observer, bool want_history)
+{
+    auto bundle = std::make_shared<TraceBundle>();
+    bundle->key = key;
+    bundle->heap = std::make_shared<PersistentHeap>();
+    bundle->workload = makeWorkload(key.kind, *bundle->heap, key.scheme,
+                                    key.params, key.llOpts);
+
+    // Functional phase, exactly as FullSystem's constructor used to run
+    // it: populate (InitOps), fast-forward the NVM image, record.
+    bundle->workload->setup();
+    bundle->heap->syncNvmToVolatile();
+
+    auto history =
+        want_history ? std::make_shared<WriteHistory>() : nullptr;
+    TeeWriteObserver tee(history.get(), extra_observer);
+    const bool observe = history || extra_observer;
+    const unsigned threads = key.params.threads;
+    if (observe) {
+        for (unsigned t = 0; t < threads; ++t)
+            bundle->workload->builder(t).setWriteObserver(&tee);
+    }
+    bundle->workload->generateTraces();
+    if (observe) {
+        for (unsigned t = 0; t < threads; ++t)
+            bundle->workload->builder(t).setWriteObserver(nullptr);
+    }
+    bundle->history = std::move(history);
+
+    bundle->threads.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        TraceBuilder &tb = bundle->workload->builder(t);
+        ThreadTrace tt;
+        tt.trace = tb.takeTrace();
+        tt.logStart = tb.logAreaStart();
+        tt.logEnd = tb.logAreaEnd();
+        tt.logFlag = tb.logFlagAddr();
+        tt.txCount = tb.txCount();
+        bundle->threads.push_back(std::move(tt));
+    }
+    bundle->computeLockMap();
+    return bundle;
+}
+
+void
+TraceBundle::computeLockMap()
+{
+    lockMap.clear();
+    for (const ThreadTrace &tt : threads) {
+        for (std::size_t i = 0; i < tt.trace.size(); ++i) {
+            const MicroOp &op = tt.trace.op(i);
+            if (op.op == Op::LockAcquire)
+                ++lockMap[op.addr];
+        }
+    }
+}
+
+std::uint64_t
+TraceBundle::totalOps() const
+{
+    std::uint64_t n = 0;
+    for (const ThreadTrace &tt : threads)
+        n += tt.trace.size();
+    return n;
+}
+
+std::uint64_t
+TraceBundle::totalTxs() const
+{
+    std::uint64_t n = 0;
+    for (const ThreadTrace &tt : threads)
+        n += tt.txCount;
+    return n;
+}
+
+std::uint64_t
+TraceBundle::totalPayloads() const
+{
+    std::uint64_t n = 0;
+    for (const ThreadTrace &tt : threads)
+        n += tt.trace.payloadCount();
+    return n;
+}
+
+} // namespace proteus

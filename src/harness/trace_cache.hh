@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Process-wide cache of TraceBundles keyed by TraceBundleKey.
+ *
+ * A crashtest sweep (hundreds of crash points per scheme) or a
+ * bench::runMatrix batch constructs many FullSystems whose traces are
+ * identical; the cache builds each distinct bundle exactly once —
+ * including under concurrent lookups from the parallel runner's worker
+ * threads, where the first requester builds while the others block on a
+ * shared future — and hands out shared immutable references.
+ *
+ * Cached and uncached runs are bit-identical: both paths execute the
+ * same TraceBundle::build and the same FullSystem wiring; the only
+ * difference is how many times the functional workload executes.
+ */
+
+#ifndef PROTEUS_HARNESS_TRACE_CACHE_HH
+#define PROTEUS_HARNESS_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "trace_bundle.hh"
+
+namespace proteus {
+
+/** Build-once, share-everywhere store of immutable trace bundles. */
+class TraceCache
+{
+  public:
+    /**
+     * The bundle for @p key, building it on first request.
+     * @p want_history: the caller needs the replayable WriteHistory
+     * (crash testing); a cached bundle without one is rebuilt once
+     * with history and replaces the old entry. Thread-safe.
+     */
+    std::shared_ptr<const TraceBundle> get(const TraceBundleKey &key,
+                                           bool want_history = false);
+
+    /** Drop every cached bundle (tests, memory pressure). */
+    void clear();
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::size_t size() const;
+    /// @}
+
+    /** The process-wide instance used by the harness entry points. */
+    static TraceCache &global();
+
+  private:
+    struct KeyHash
+    {
+        std::size_t operator()(const TraceBundleKey &k) const
+        {
+            return k.hash();
+        }
+    };
+
+    using Future = std::shared_future<std::shared_ptr<const TraceBundle>>;
+
+    mutable std::mutex _mutex;
+    std::unordered_map<TraceBundleKey, Future, KeyHash> _entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_HARNESS_TRACE_CACHE_HH

@@ -1,0 +1,930 @@
+#include "trace_io.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Format constants
+
+constexpr std::uint32_t ptraceMagic = 0x43525450u;      // "PTRC"
+constexpr std::uint32_t ptraceBom = 0x01020304u;
+
+constexpr std::uint32_t fourcc(const char (&s)[5])
+{
+    return static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[0])) |
+           static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[1])) << 8 |
+           static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[2])) << 16 |
+           static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[3])) << 24;
+}
+
+constexpr std::uint32_t tagMeta = fourcc("META");
+constexpr std::uint32_t tagThread = fourcc("THRD");
+constexpr std::uint32_t tagVolatileImg = fourcc("VIMG");
+constexpr std::uint32_t tagNvmImg = fourcc("NIMG");
+constexpr std::uint32_t tagAlloc = fourcc("ALOC");
+constexpr std::uint32_t tagLocks = fourcc("LOCK");
+constexpr std::uint32_t tagHistory = fourcc("HIST");
+
+std::string
+tagName(std::uint32_t tag)
+{
+    char s[5] = {
+        static_cast<char>(tag & 0xff),
+        static_cast<char>((tag >> 8) & 0xff),
+        static_cast<char>((tag >> 16) & 0xff),
+        static_cast<char>((tag >> 24) & 0xff),
+        '\0',
+    };
+    for (char &c : s) {
+        if (c != '\0' && (c < 0x20 || c > 0x7e))
+            c = '?';
+    }
+    return std::string(s);
+}
+
+// Fixed serialized record sizes (byte-explicit; independent of host ABI).
+constexpr std::size_t opRecordBytes = 4 + 3 * 2 + 2 * 4 + 2 * 8;
+constexpr std::size_t payloadRecordBytes = logDataSize + 8 + 8;
+constexpr std::size_t eventRecordBytes = 1 + 1 + 4 + 1 + 8 + 8 + 8 + 8;
+constexpr std::size_t pageRecordBytes = 8 + MemoryImage::pageBytes;
+
+// ---------------------------------------------------------------------
+// Little-endian writer over a growable byte buffer
+
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        _bytes.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    i16(std::int16_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+    }
+
+    void
+    raw(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        _bytes.insert(_bytes.end(), p, p + n);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return _bytes; }
+
+  private:
+    std::vector<std::uint8_t> _bytes;
+};
+
+// ---------------------------------------------------------------------
+// Bounds-checked little-endian reader; every overrun is a FatalError
+
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t n,
+           const std::string &what)
+        : _data(data), _size(n), _what(what)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return _data[_pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo | (u8() << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | static_cast<std::uint32_t>(u16()) << 16;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | static_cast<std::uint64_t>(u32()) << 32;
+    }
+
+    std::int16_t
+    i16()
+    {
+        return static_cast<std::int16_t>(u16());
+    }
+
+    void
+    raw(void *out, std::size_t n)
+    {
+        need(n);
+        std::memcpy(out, _data + _pos, n);
+        _pos += n;
+    }
+
+    const std::uint8_t *
+    view(std::size_t n)
+    {
+        need(n);
+        const std::uint8_t *p = _data + _pos;
+        _pos += n;
+        return p;
+    }
+
+    /** Validate that @p count records of @p record_bytes each fit in
+     *  the remaining input before any allocation sized by count. */
+    void
+    needRecords(std::uint64_t count, std::size_t record_bytes,
+                const char *kind)
+    {
+        if (count > remaining() / record_bytes) {
+            fatal("ptrace: ", _what, ": ", kind, " count ", count,
+                  " exceeds the section's remaining ", remaining(),
+                  " bytes");
+        }
+    }
+
+    std::size_t remaining() const { return _size - _pos; }
+    std::size_t pos() const { return _pos; }
+
+    void
+    expectEnd() const
+    {
+        if (_pos != _size) {
+            fatal("ptrace: ", _what, ": ", _size - _pos,
+                  " trailing bytes after the last field");
+        }
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (n > _size - _pos) {
+            fatal("ptrace: ", _what, ": truncated (need ", n,
+                  " bytes at offset ", _pos, ", have ", _size - _pos,
+                  ")");
+        }
+    }
+
+    const std::uint8_t *_data;
+    std::size_t _size;
+    std::size_t _pos = 0;
+    std::string _what;
+};
+
+// ---------------------------------------------------------------------
+// Section payload serializers
+
+struct MetaFields
+{
+    std::uint32_t kind = 0;
+    std::uint32_t scheme = 0;
+    std::uint32_t threads = 0;
+    std::uint32_t scale = 0;
+    std::uint32_t initScale = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t logAreaBytes = 0;
+    std::uint32_t elementsPerNode = 0;
+    std::uint32_t threadSections = 0;
+    std::uint8_t hasHistory = 0;
+};
+
+void
+writeMeta(Writer &w, const TraceBundle &b)
+{
+    w.u32(static_cast<std::uint32_t>(b.key.kind));
+    w.u32(static_cast<std::uint32_t>(b.key.scheme));
+    w.u32(b.key.params.threads);
+    w.u32(b.key.params.scale);
+    w.u32(b.key.params.initScale);
+    w.u64(b.key.params.seed);
+    w.u64(b.key.params.logAreaBytes);
+    w.u32(b.key.llOpts.elementsPerNode);
+    w.u32(static_cast<std::uint32_t>(b.threads.size()));
+    w.u8(b.history ? 1 : 0);
+}
+
+MetaFields
+readMeta(Reader &r)
+{
+    MetaFields m;
+    m.kind = r.u32();
+    m.scheme = r.u32();
+    m.threads = r.u32();
+    m.scale = r.u32();
+    m.initScale = r.u32();
+    m.seed = r.u64();
+    m.logAreaBytes = r.u64();
+    m.elementsPerNode = r.u32();
+    m.threadSections = r.u32();
+    m.hasHistory = r.u8();
+    r.expectEnd();
+    if (m.kind > static_cast<std::uint32_t>(WorkloadKind::LinkedList))
+        fatal("ptrace: META: workload kind ", m.kind, " out of range");
+    if (m.scheme > static_cast<std::uint32_t>(LogScheme::ProteusNoLWR))
+        fatal("ptrace: META: log scheme ", m.scheme, " out of range");
+    if (m.threads == 0 || m.threadSections != m.threads) {
+        fatal("ptrace: META: thread count ", m.threads,
+              " inconsistent with ", m.threadSections,
+              " thread sections");
+    }
+    if (m.hasHistory > 1)
+        fatal("ptrace: META: hasHistory flag ", m.hasHistory,
+              " is not 0/1");
+    return m;
+}
+
+void
+writeThread(Writer &w, const TraceBundle::ThreadTrace &tt)
+{
+    w.u64(tt.logStart);
+    w.u64(tt.logEnd);
+    w.u64(tt.logFlag);
+    w.u64(tt.txCount);
+    w.u64(tt.trace.size());
+    w.u64(tt.trace.payloadCount());
+    for (std::size_t i = 0; i < tt.trace.size(); ++i) {
+        const MicroOp &op = tt.trace.op(i);
+        w.u8(static_cast<std::uint8_t>(op.op));
+        w.u8(op.size);
+        w.u8(op.taken ? 1 : 0);
+        w.u8(op.persistent ? 1 : 0);
+        w.i16(op.src0);
+        w.i16(op.src1);
+        w.i16(op.dst);
+        w.u32(op.staticPc);
+        w.u32(op.payload);
+        w.u64(op.addr);
+        w.u64(op.data);
+    }
+    for (std::size_t i = 0; i < tt.trace.payloadCount(); ++i) {
+        const LogPayload &p =
+            tt.trace.logPayload(static_cast<std::uint32_t>(i));
+        w.raw(p.bytes, logDataSize);
+        w.u64(p.fromAddr);
+        w.u64(p.txId);
+    }
+}
+
+TraceBundle::ThreadTrace
+readThread(Reader &r)
+{
+    TraceBundle::ThreadTrace tt;
+    tt.logStart = r.u64();
+    tt.logEnd = r.u64();
+    tt.logFlag = r.u64();
+    tt.txCount = r.u64();
+    const std::uint64_t op_count = r.u64();
+    const std::uint64_t payload_count = r.u64();
+    r.needRecords(op_count, opRecordBytes, "micro-op");
+    if (payload_count >= noPayload) {
+        fatal("ptrace: THRD: payload count ", payload_count,
+              " exceeds the payload index space");
+    }
+    tt.trace.reserve(op_count, payload_count);
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+        MicroOp op;
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(Op::LogSave))
+            fatal("ptrace: THRD: micro-op kind ", unsigned(kind),
+                  " out of range at op ", i);
+        op.op = static_cast<Op>(kind);
+        op.size = r.u8();
+        op.taken = r.u8() != 0;
+        op.persistent = r.u8() != 0;
+        op.src0 = r.i16();
+        op.src1 = r.i16();
+        op.dst = r.i16();
+        op.staticPc = r.u32();
+        op.payload = r.u32();
+        op.addr = r.u64();
+        op.data = r.u64();
+        if (op.payload != noPayload && op.payload >= payload_count) {
+            fatal("ptrace: THRD: op ", i, " references payload ",
+                  op.payload, " of ", payload_count);
+        }
+        tt.trace.push(op);
+    }
+    r.needRecords(payload_count, payloadRecordBytes, "log payload");
+    for (std::uint64_t i = 0; i < payload_count; ++i) {
+        LogPayload p;
+        r.raw(p.bytes, logDataSize);
+        p.fromAddr = r.u64();
+        p.txId = r.u64();
+        tt.trace.addPayload(p);
+    }
+    r.expectEnd();
+    return tt;
+}
+
+void
+writeImage(Writer &w, const MemoryImage &img)
+{
+    const std::vector<Addr> pages = img.pageIndices();
+    w.u64(pages.size());
+    for (Addr pi : pages) {
+        w.u64(pi);
+        w.raw(img.pageData(pi), MemoryImage::pageBytes);
+    }
+}
+
+MemoryImage
+readImage(Reader &r)
+{
+    MemoryImage img;
+    const std::uint64_t count = r.u64();
+    r.needRecords(count, pageRecordBytes, "page");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr pi = r.u64();
+        if (i > 0 && pi <= prev) {
+            fatal("ptrace: image: page indices not strictly "
+                  "ascending at page ", i);
+        }
+        if (pi > (invalidAddr >> MemoryImage::pageBits))
+            fatal("ptrace: image: page index ", pi, " out of range");
+        prev = pi;
+        const std::uint8_t *bytes = r.view(MemoryImage::pageBytes);
+        img.write(pi << MemoryImage::pageBits, bytes,
+                  MemoryImage::pageBytes);
+    }
+    r.expectEnd();
+    return img;
+}
+
+void
+writeAllocatorState(Writer &w, const RegionAllocator::State &s)
+{
+    w.u64(s.next);
+    w.u64(s.liveBytes);
+    w.u64(s.freeBins.size());
+    for (const auto &[size, addrs] : s.freeBins) {
+        w.u64(size);
+        w.u64(addrs.size());
+        for (Addr a : addrs)
+            w.u64(a);
+    }
+}
+
+RegionAllocator::State
+readAllocatorState(Reader &r)
+{
+    RegionAllocator::State s;
+    s.next = r.u64();
+    s.liveBytes = r.u64();
+    const std::uint64_t bins = r.u64();
+    r.needRecords(bins, 16, "free bin");
+    s.freeBins.reserve(bins);
+    for (std::uint64_t i = 0; i < bins; ++i) {
+        const std::uint64_t size = r.u64();
+        const std::uint64_t count = r.u64();
+        r.needRecords(count, 8, "free-bin address");
+        std::vector<Addr> addrs;
+        addrs.reserve(count);
+        for (std::uint64_t j = 0; j < count; ++j)
+            addrs.push_back(r.u64());
+        s.freeBins.emplace_back(static_cast<std::size_t>(size),
+                                std::move(addrs));
+    }
+    return s;
+}
+
+void
+writeAlloc(Writer &w, const PersistentHeap::AllocState &s)
+{
+    writeAllocatorState(w, s.volatileAlloc);
+    writeAllocatorState(w, s.persistentAlloc);
+    w.u64(s.nextLogArea);
+    w.u64(s.chaseArena);
+}
+
+PersistentHeap::AllocState
+readAlloc(Reader &r)
+{
+    PersistentHeap::AllocState s;
+    s.volatileAlloc = readAllocatorState(r);
+    s.persistentAlloc = readAllocatorState(r);
+    s.nextLogArea = r.u64();
+    s.chaseArena = r.u64();
+    r.expectEnd();
+    return s;
+}
+
+void
+writeLocks(Writer &w, const std::map<Addr, std::uint64_t> &locks)
+{
+    w.u64(locks.size());
+    for (const auto &[addr, count] : locks) {
+        w.u64(addr);
+        w.u64(count);
+    }
+}
+
+std::map<Addr, std::uint64_t>
+readLocks(Reader &r)
+{
+    std::map<Addr, std::uint64_t> locks;
+    const std::uint64_t count = r.u64();
+    r.needRecords(count, 16, "lock entry");
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr addr = r.u64();
+        if (i > 0 && addr <= prev)
+            fatal("ptrace: LOCK: addresses not strictly ascending");
+        prev = addr;
+        locks[addr] = r.u64();
+    }
+    r.expectEnd();
+    return locks;
+}
+
+void
+writeHistory(Writer &w, const WriteHistory &h)
+{
+    w.u64(h.events().size());
+    for (const WriteEvent &e : h.events()) {
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u8(static_cast<std::uint8_t>(e.writeKind));
+        w.u32(e.thread);
+        w.u8(e.size);
+        w.u64(e.tx);
+        w.u64(e.addr);
+        w.u64(e.before);
+        w.u64(e.after);
+    }
+}
+
+std::shared_ptr<WriteHistory>
+readHistory(Reader &r)
+{
+    auto h = std::make_shared<WriteHistory>();
+    const std::uint64_t count = r.u64();
+    r.needRecords(count, eventRecordBytes, "write event");
+    h->events().reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        WriteEvent e;
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(WriteEvent::Kind::Store))
+            fatal("ptrace: HIST: event kind ", unsigned(kind),
+                  " out of range at event ", i);
+        e.kind = static_cast<WriteEvent::Kind>(kind);
+        const std::uint8_t wk = r.u8();
+        if (wk > static_cast<std::uint8_t>(ObservedWrite::Raw))
+            fatal("ptrace: HIST: write kind ", unsigned(wk),
+                  " out of range at event ", i);
+        e.writeKind = static_cast<ObservedWrite>(wk);
+        e.thread = r.u32();
+        e.size = r.u8();
+        e.tx = r.u64();
+        e.addr = r.u64();
+        e.before = r.u64();
+        e.after = r.u64();
+        h->events().push_back(e);
+    }
+    r.expectEnd();
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// File-level framing
+
+struct RawSection
+{
+    std::uint32_t tag = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    const std::uint8_t *payload = nullptr;
+};
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("ptrace: cannot open ", path, " for reading");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof())
+        fatal("ptrace: I/O error reading ", path);
+    const std::string &s = ss.str();
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+/** Parse header + section table; CRCs are not checked here. */
+std::vector<RawSection>
+parseSections(const std::vector<std::uint8_t> &bytes,
+              std::uint32_t *version_out = nullptr)
+{
+    Reader r(bytes.data(), bytes.size(), "header");
+    const std::uint32_t magic = r.u32();
+    if (magic != ptraceMagic)
+        fatal("ptrace: bad magic ", magic, " (not a .ptrace file)");
+    const std::uint32_t version = r.u32();
+    if (version != ptraceVersion) {
+        fatal("ptrace: unsupported format version ", version,
+              " (this build reads version ", ptraceVersion, ")");
+    }
+    const std::uint32_t bom = r.u32();
+    if (bom != ptraceBom)
+        fatal("ptrace: byte-order mark mismatch (corrupt header)");
+    const std::uint32_t section_count = r.u32();
+    if (version_out)
+        *version_out = version;
+
+    std::vector<RawSection> sections;
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+        RawSection s;
+        s.tag = r.u32();
+        s.size = r.u64();
+        s.crc = r.u32();
+        if (s.size > r.remaining()) {
+            fatal("ptrace: section ", tagName(s.tag), " claims ",
+                  s.size, " bytes but only ", r.remaining(),
+                  " remain in the file");
+        }
+        s.payload = r.view(static_cast<std::size_t>(s.size));
+        sections.push_back(s);
+    }
+    r.expectEnd();
+    return sections;
+}
+
+void
+checkCrc(const RawSection &s)
+{
+    const std::uint32_t actual =
+        crc32(s.payload, static_cast<std::size_t>(s.size));
+    if (actual != s.crc) {
+        fatal("ptrace: section ", tagName(s.tag),
+              " CRC mismatch (stored ", s.crc, ", computed ", actual,
+              ")");
+    }
+}
+
+Reader
+sectionReader(const RawSection &s)
+{
+    return Reader(s.payload, static_cast<std::size_t>(s.size),
+                  tagName(s.tag));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, table-driven)
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------
+// Save
+
+void
+saveTraceBundle(const TraceBundle &bundle, const std::string &path)
+{
+    if (!bundle.heap)
+        fatal("ptrace: cannot save a bundle without a heap");
+
+    std::vector<std::pair<std::uint32_t, Writer>> sections;
+
+    {
+        Writer w;
+        writeMeta(w, bundle);
+        sections.emplace_back(tagMeta, std::move(w));
+    }
+    for (const TraceBundle::ThreadTrace &tt : bundle.threads) {
+        Writer w;
+        writeThread(w, tt);
+        sections.emplace_back(tagThread, std::move(w));
+    }
+    {
+        Writer w;
+        writeImage(w, bundle.heap->volatileImage());
+        sections.emplace_back(tagVolatileImg, std::move(w));
+    }
+    {
+        Writer w;
+        writeImage(w, bundle.heap->nvmImage());
+        sections.emplace_back(tagNvmImg, std::move(w));
+    }
+    {
+        Writer w;
+        writeAlloc(w, bundle.heap->allocState());
+        sections.emplace_back(tagAlloc, std::move(w));
+    }
+    {
+        Writer w;
+        writeLocks(w, bundle.lockMap);
+        sections.emplace_back(tagLocks, std::move(w));
+    }
+    if (bundle.history) {
+        Writer w;
+        writeHistory(w, *bundle.history);
+        sections.emplace_back(tagHistory, std::move(w));
+    }
+
+    Writer file;
+    file.u32(ptraceMagic);
+    file.u32(ptraceVersion);
+    file.u32(ptraceBom);
+    file.u32(static_cast<std::uint32_t>(sections.size()));
+    for (const auto &[tag, w] : sections) {
+        file.u32(tag);
+        file.u64(w.bytes().size());
+        file.u32(crc32(w.bytes().data(), w.bytes().size()));
+        file.raw(w.bytes().data(), w.bytes().size());
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("ptrace: cannot open ", path, " for writing");
+    out.write(reinterpret_cast<const char *>(file.bytes().data()),
+              static_cast<std::streamsize>(file.bytes().size()));
+    out.flush();
+    if (!out.good())
+        fatal("ptrace: I/O error writing ", path);
+}
+
+// ---------------------------------------------------------------------
+// Load
+
+std::shared_ptr<const TraceBundle>
+loadTraceBundle(const std::string &path)
+{
+    const std::vector<std::uint8_t> bytes = readFile(path);
+    const std::vector<RawSection> sections = parseSections(bytes);
+    for (const RawSection &s : sections)
+        checkCrc(s);
+
+    auto bundle = std::make_shared<TraceBundle>();
+    bool have_meta = false;
+    bool have_vimg = false;
+    bool have_nimg = false;
+    bool have_alloc = false;
+    bool have_locks = false;
+    MetaFields meta;
+    MemoryImage volatile_img;
+    MemoryImage nvm_img;
+    PersistentHeap::AllocState alloc;
+
+    for (const RawSection &s : sections) {
+        Reader r = sectionReader(s);
+        if (s.tag == tagMeta) {
+            if (have_meta)
+                fatal("ptrace: duplicate META section");
+            meta = readMeta(r);
+            have_meta = true;
+        } else if (s.tag == tagThread) {
+            if (!have_meta)
+                fatal("ptrace: THRD section before META");
+            if (bundle->threads.size() >= meta.threads)
+                fatal("ptrace: more THRD sections than META declares");
+            bundle->threads.push_back(readThread(r));
+        } else if (s.tag == tagVolatileImg) {
+            if (have_vimg)
+                fatal("ptrace: duplicate VIMG section");
+            volatile_img = readImage(r);
+            have_vimg = true;
+        } else if (s.tag == tagNvmImg) {
+            if (have_nimg)
+                fatal("ptrace: duplicate NIMG section");
+            nvm_img = readImage(r);
+            have_nimg = true;
+        } else if (s.tag == tagAlloc) {
+            if (have_alloc)
+                fatal("ptrace: duplicate ALOC section");
+            alloc = readAlloc(r);
+            have_alloc = true;
+        } else if (s.tag == tagLocks) {
+            if (have_locks)
+                fatal("ptrace: duplicate LOCK section");
+            bundle->lockMap = readLocks(r);
+            have_locks = true;
+        } else if (s.tag == tagHistory) {
+            if (bundle->history)
+                fatal("ptrace: duplicate HIST section");
+            bundle->history = readHistory(r);
+        } else {
+            fatal("ptrace: unknown section tag ", tagName(s.tag));
+        }
+    }
+
+    if (!have_meta)
+        fatal("ptrace: missing META section");
+    if (bundle->threads.size() != meta.threads) {
+        fatal("ptrace: META declares ", meta.threads,
+              " threads but the file holds ", bundle->threads.size(),
+              " THRD sections");
+    }
+    if (!have_vimg || !have_nimg)
+        fatal("ptrace: missing heap image section");
+    if (!have_alloc)
+        fatal("ptrace: missing ALOC section");
+    if (!have_locks)
+        fatal("ptrace: missing LOCK section");
+    if (meta.hasHistory != (bundle->history ? 1 : 0))
+        fatal("ptrace: META hasHistory flag disagrees with the file");
+
+    bundle->key.kind = static_cast<WorkloadKind>(meta.kind);
+    bundle->key.scheme = static_cast<LogScheme>(meta.scheme);
+    bundle->key.params.threads = meta.threads;
+    bundle->key.params.scale = meta.scale;
+    bundle->key.params.initScale = meta.initScale;
+    bundle->key.params.seed = meta.seed;
+    bundle->key.params.logAreaBytes = meta.logAreaBytes;
+    bundle->key.llOpts.elementsPerNode = meta.elementsPerNode;
+
+    bundle->heap = std::make_shared<PersistentHeap>();
+    bundle->heap->volatileImage() = std::move(volatile_img);
+    bundle->heap->nvmImage() = std::move(nvm_img);
+    // restoreAllocState validates region-frontier invariants and fatals
+    // on inconsistent input.
+    bundle->heap->restoreAllocState(alloc);
+
+    // Cross-check the stored lock map against the traces: a cheap
+    // end-to-end integrity test over the deserialized micro-ops.
+    std::map<Addr, std::uint64_t> expect = bundle->lockMap;
+    bundle->computeLockMap();
+    if (bundle->lockMap != expect)
+        fatal("ptrace: LOCK section disagrees with the traces");
+
+    // bundle->workload stays null: file-loaded bundles run and measure
+    // but cannot invariant-check (FullSystem::hasWorkload()).
+    return bundle;
+}
+
+// ---------------------------------------------------------------------
+// Info / verify
+
+PtraceFileInfo
+inspectTraceFile(const std::string &path)
+{
+    const std::vector<std::uint8_t> bytes = readFile(path);
+    PtraceFileInfo info;
+    info.fileBytes = bytes.size();
+    const std::vector<RawSection> sections =
+        parseSections(bytes, &info.version);
+
+    for (const RawSection &s : sections) {
+        PtraceSectionInfo si;
+        si.tag = tagName(s.tag);
+        si.bytes = s.size;
+        si.crc = s.crc;
+        si.crcOk =
+            crc32(s.payload, static_cast<std::size_t>(s.size)) == s.crc;
+        info.sections.push_back(si);
+
+        // Counters decode from the section prefixes only; a damaged
+        // payload can at worst leave them zero (crcOk already says so).
+        try {
+            Reader r = sectionReader(s);
+            if (s.tag == tagMeta) {
+                const MetaFields m = readMeta(r);
+                info.key.kind = static_cast<WorkloadKind>(m.kind);
+                info.key.scheme = static_cast<LogScheme>(m.scheme);
+                info.key.params.threads = m.threads;
+                info.key.params.scale = m.scale;
+                info.key.params.initScale = m.initScale;
+                info.key.params.seed = m.seed;
+                info.key.params.logAreaBytes = m.logAreaBytes;
+                info.key.llOpts.elementsPerNode = m.elementsPerNode;
+            } else if (s.tag == tagThread) {
+                r.u64();    // logStart
+                r.u64();    // logEnd
+                r.u64();    // logFlag
+                info.totalTxs += r.u64();
+                info.totalOps += r.u64();
+                info.totalPayloads += r.u64();
+            } else if (s.tag == tagVolatileImg) {
+                info.volatilePages = r.u64();
+            } else if (s.tag == tagNvmImg) {
+                info.nvmPages = r.u64();
+            } else if (s.tag == tagLocks) {
+                info.lockCount = r.u64();
+            } else if (s.tag == tagHistory) {
+                info.historyEvents = r.u64();
+            }
+        } catch (const FatalError &) {
+            // Prefix unreadable; counters stay zero for this section.
+        }
+    }
+    return info;
+}
+
+std::vector<std::string>
+verifyTraceFile(const std::string &path)
+{
+    std::vector<std::string> problems;
+
+    PtraceFileInfo info;
+    try {
+        info = inspectTraceFile(path);
+    } catch (const FatalError &e) {
+        problems.push_back(e.what());
+        return problems;
+    }
+    for (const PtraceSectionInfo &s : info.sections) {
+        if (!s.crcOk) {
+            problems.push_back("section " + s.tag +
+                               " fails its CRC check");
+        }
+    }
+    if (!problems.empty())
+        return problems;
+
+    // CRCs pass; now do the full semantic load, which cross-checks
+    // payload references, section presence, allocator invariants, and
+    // the lock map against the traces.
+    std::shared_ptr<const TraceBundle> bundle;
+    try {
+        bundle = loadTraceBundle(path);
+    } catch (const FatalError &e) {
+        problems.push_back(e.what());
+        return problems;
+    }
+
+    // Log-area sanity: every thread's circular log must lie inside the
+    // heap's log region, and areas must not overlap.
+    std::vector<std::pair<Addr, Addr>> areas;
+    for (std::size_t t = 0; t < bundle->threads.size(); ++t) {
+        const TraceBundle::ThreadTrace &tt = bundle->threads[t];
+        if (tt.logStart == invalidAddr)
+            continue;   // schemes without per-thread software logs
+        if (tt.logStart >= tt.logEnd ||
+            tt.logStart < PersistentHeap::logBase ||
+            tt.logEnd > PersistentHeap::logLimit) {
+            problems.push_back("thread " + std::to_string(t) +
+                               " log area out of the log region");
+            continue;
+        }
+        areas.emplace_back(tt.logStart, tt.logEnd);
+    }
+    std::sort(areas.begin(), areas.end());
+    for (std::size_t i = 1; i < areas.size(); ++i) {
+        if (areas[i].first < areas[i - 1].second)
+            problems.push_back("thread log areas overlap");
+    }
+
+    return problems;
+}
+
+} // namespace proteus

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The .ptrace binary trace-snapshot format: a versioned, endian-stable,
+ * CRC-checked serialization of a TraceBundle, so expensive traces can
+ * be recorded once (tools/proteus-trace record) and replayed across
+ * sessions and CI runs.
+ *
+ * Layout (every integer little-endian regardless of host):
+ *
+ *   header:   magic "PTRC" (u32), version (u32), byte-order mark
+ *             0x01020304 (u32), section count (u32)
+ *   section:  tag (u32 fourcc), payload size (u64), CRC-32 of the
+ *             payload (u32), payload bytes
+ *
+ * Sections, in file order:
+ *   META  workload kind, scheme, params, linked-list options
+ *   THRD  one per thread: log-area bounds, micro-ops, log payloads
+ *   VIMG  volatile heap image (sparse 4 KiB pages, sorted)
+ *   NIMG  NVM heap image (the post-setup durable state)
+ *   ALOC  heap allocator state (frontiers, free bins, log frontier)
+ *   LOCK  lock map: lock address -> LockAcquire count, from the traces
+ *   HIST  optional: the replayable TraceWriteObserver event stream
+ *
+ * Loading validates the header, every section's size and CRC, and all
+ * internal references (payload indices, section presence, lock-map
+ * consistency against the deserialized traces). Corrupt or truncated
+ * input of any shape throws FatalError — it must never crash the
+ * process, which the fuzz tests assert byte-flip by byte-flip.
+ *
+ * Loaded bundles carry no Workload object (Workload state is not
+ * serializable); they can drive FullSystem runs, benches, and stats
+ * regression, but not workload-level invariant checks.
+ */
+
+#ifndef PROTEUS_HARNESS_TRACE_IO_HH
+#define PROTEUS_HARNESS_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace_bundle.hh"
+
+namespace proteus {
+
+/** Current .ptrace format version. */
+constexpr std::uint32_t ptraceVersion = 1;
+
+/** Save @p bundle to @p path; throws FatalError on I/O failure. */
+void saveTraceBundle(const TraceBundle &bundle, const std::string &path);
+
+/**
+ * Load a bundle from @p path. Throws FatalError on corrupt, truncated,
+ * version-mismatched, or internally inconsistent input. The returned
+ * bundle has no workload object (hasWorkload() is false downstream).
+ */
+std::shared_ptr<const TraceBundle>
+loadTraceBundle(const std::string &path);
+
+/** Parsed summary of one section, for `proteus-trace info`. */
+struct PtraceSectionInfo
+{
+    std::string tag;            ///< fourcc, e.g. "THRD"
+    std::uint64_t bytes = 0;    ///< payload size
+    std::uint32_t crc = 0;      ///< stored CRC-32
+    bool crcOk = false;         ///< recomputed CRC matches
+};
+
+/** Whole-file summary: header plus per-section stats. */
+struct PtraceFileInfo
+{
+    std::uint32_t version = 0;
+    TraceBundleKey key;
+    std::vector<PtraceSectionInfo> sections;
+    std::uint64_t totalOps = 0;
+    std::uint64_t totalPayloads = 0;
+    std::uint64_t totalTxs = 0;
+    std::uint64_t historyEvents = 0;
+    std::uint64_t volatilePages = 0;
+    std::uint64_t nvmPages = 0;
+    std::uint64_t lockCount = 0;
+    std::uint64_t fileBytes = 0;
+};
+
+/**
+ * Inspect @p path without fully materializing the bundle: header and
+ * section table are parsed, CRCs recomputed, counters decoded. Throws
+ * FatalError when even the header/section table cannot be parsed.
+ */
+PtraceFileInfo inspectTraceFile(const std::string &path);
+
+/**
+ * Deep verification for `proteus-trace verify`: CRC-check every
+ * section, load the bundle, and cross-check internal consistency
+ * (payload references, lock map vs. traces, log-area sanity).
+ * @return list of problems; empty means the file is sound.
+ */
+std::vector<std::string> verifyTraceFile(const std::string &path);
+
+/** CRC-32 (IEEE 802.3) of @p n bytes — exposed for tests. */
+std::uint32_t crc32(const void *data, std::size_t n);
+
+} // namespace proteus
+
+#endif // PROTEUS_HARNESS_TRACE_IO_HH

@@ -74,6 +74,24 @@ MemoryImage::write(Addr addr, const void *src, std::size_t n)
     }
 }
 
+std::vector<Addr>
+MemoryImage::pageIndices() const
+{
+    std::vector<Addr> indices;
+    indices.reserve(_pages.size());
+    for (const auto &[index, page] : _pages)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    return indices;
+}
+
+const std::uint8_t *
+MemoryImage::pageData(Addr page_index) const
+{
+    const Page *page = peek(page_index);
+    return page ? page->data() : nullptr;
+}
+
 std::vector<MemoryImage::DiffEntry>
 MemoryImage::diff(const MemoryImage &other,
                   std::size_t max_entries) const

@@ -72,6 +72,22 @@ class MemoryImage
     /** @return number of materialized pages (tests, footprint stats). */
     std::size_t pageCount() const { return _pages.size(); }
 
+    /**
+     * Materialized page indices (addr >> pageBits), sorted ascending so
+     * serialization is deterministic regardless of hash-map order.
+     */
+    std::vector<Addr> pageIndices() const;
+
+    /** Raw bytes of a materialized page; null if never touched. */
+    const std::uint8_t *pageData(Addr page_index) const;
+
+    /** @return true if both images hold identical contents (untouched
+     *  pages read as zero, so an all-zero page equals a missing one). */
+    bool identical(const MemoryImage &other) const
+    {
+        return diff(other, 1).empty();
+    }
+
     /** Drop all contents. */
     void clear() { _pages.clear(); }
 

@@ -63,6 +63,31 @@ RegionAllocator::release(Addr addr, std::size_t bytes)
     _freeBins[bytes].push_back(addr);
 }
 
+RegionAllocator::State
+RegionAllocator::state() const
+{
+    State s;
+    s.next = _next;
+    s.liveBytes = _liveBytes;
+    for (const auto &[size, addrs] : _freeBins) {
+        if (!addrs.empty())
+            s.freeBins.emplace_back(size, addrs);
+    }
+    return s;
+}
+
+void
+RegionAllocator::restore(const State &s)
+{
+    if (s.next < _base || s.next > _limit)
+        fatal("RegionAllocator::restore: frontier outside region");
+    _next = s.next;
+    _liveBytes = s.liveBytes;
+    _freeBins.clear();
+    for (const auto &[size, addrs] : s.freeBins)
+        _freeBins[size] = addrs;
+}
+
 PersistentHeap::PersistentHeap()
     : _volatileAlloc(volatileBase, persistentBase),
       _persistentAlloc(persistentBase, logBase),
@@ -95,6 +120,28 @@ PersistentHeap::chaseArena()
         _chaseArena = _persistentAlloc.allocate(chaseArenaBytes,
                                                 blockSize);
     return _chaseArena;
+}
+
+PersistentHeap::AllocState
+PersistentHeap::allocState() const
+{
+    AllocState s;
+    s.volatileAlloc = _volatileAlloc.state();
+    s.persistentAlloc = _persistentAlloc.state();
+    s.nextLogArea = _nextLogArea;
+    s.chaseArena = _chaseArena;
+    return s;
+}
+
+void
+PersistentHeap::restoreAllocState(const AllocState &s)
+{
+    _volatileAlloc.restore(s.volatileAlloc);
+    _persistentAlloc.restore(s.persistentAlloc);
+    if (s.nextLogArea < logBase || s.nextLogArea > logLimit)
+        fatal("PersistentHeap: restored log frontier outside region");
+    _nextLogArea = s.nextLogArea;
+    _chaseArena = s.chaseArena;
 }
 
 Addr

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "memory_image.hh"
@@ -41,6 +42,19 @@ class RegionAllocator
     Addr base() const { return _base; }
     Addr frontier() const { return _next; }
     std::uint64_t liveBytes() const { return _liveBytes; }
+
+    /** Complete mutable state, for heap snapshot serialization. */
+    struct State
+    {
+        Addr next = 0;
+        std::uint64_t liveBytes = 0;
+        /** (size, addresses) free bins, sorted by size for stable
+         *  serialization. */
+        std::vector<std::pair<std::size_t, std::vector<Addr>>> freeBins;
+    };
+
+    State state() const;
+    void restore(const State &s);
 
   private:
     Addr _base;
@@ -129,6 +143,24 @@ class PersistentHeap
      * after functional warmup (the paper's InitOps) before timing starts.
      */
     void syncNvmToVolatile() { _nvmImage = _volatileImage; }
+
+    /**
+     * Allocator-side mutable state (images excluded), captured for the
+     * .ptrace heap section so a deserialized heap can keep allocating —
+     * in particular the ATOM per-core log areas FullSystem carves at
+     * wiring time must land at the same addresses as in the recording
+     * process.
+     */
+    struct AllocState
+    {
+        RegionAllocator::State volatileAlloc;
+        RegionAllocator::State persistentAlloc;
+        Addr nextLogArea = logBase;
+        Addr chaseArena = invalidAddr;
+    };
+
+    AllocState allocState() const;
+    void restoreAllocState(const AllocState &s);
 
   private:
     MemoryImage _volatileImage;

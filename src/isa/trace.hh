@@ -43,6 +43,17 @@ class Trace
     std::size_t size() const { return _ops.size(); }
     bool empty() const { return _ops.empty(); }
 
+    /** Number of registered log payloads (serialization, tests). */
+    std::size_t payloadCount() const { return _payloads.size(); }
+
+    /** Pre-size the containers (deserialization fast path). */
+    void
+    reserve(std::size_t ops, std::size_t payloads)
+    {
+        _ops.reserve(ops);
+        _payloads.reserve(payloads);
+    }
+
     /** Count micro-ops of one kind (used by tests and stats). */
     std::size_t countOps(Op kind) const;
 

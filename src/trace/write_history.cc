@@ -1,0 +1,61 @@
+#include "write_history.hh"
+
+namespace proteus {
+
+void
+WriteHistory::onTxBegin(CoreId thread, TxId tx)
+{
+    WriteEvent e;
+    e.kind = WriteEvent::Kind::TxBegin;
+    e.thread = thread;
+    e.tx = tx;
+    _events.push_back(e);
+}
+
+void
+WriteHistory::onTxEnd(CoreId thread, TxId tx)
+{
+    WriteEvent e;
+    e.kind = WriteEvent::Kind::TxEnd;
+    e.thread = thread;
+    e.tx = tx;
+    _events.push_back(e);
+}
+
+void
+WriteHistory::onStore(CoreId thread, TxId tx, Addr addr, unsigned size,
+                      std::uint64_t before, std::uint64_t after,
+                      ObservedWrite kind)
+{
+    WriteEvent e;
+    e.kind = WriteEvent::Kind::Store;
+    e.writeKind = kind;
+    e.thread = thread;
+    e.size = static_cast<std::uint8_t>(size);
+    e.tx = tx;
+    e.addr = addr;
+    e.before = before;
+    e.after = after;
+    _events.push_back(e);
+}
+
+void
+WriteHistory::replayTo(TraceWriteObserver &obs) const
+{
+    for (const WriteEvent &e : _events) {
+        switch (e.kind) {
+          case WriteEvent::Kind::TxBegin:
+            obs.onTxBegin(e.thread, e.tx);
+            break;
+          case WriteEvent::Kind::TxEnd:
+            obs.onTxEnd(e.thread, e.tx);
+            break;
+          case WriteEvent::Kind::Store:
+            obs.onStore(e.thread, e.tx, e.addr, e.size, e.before,
+                        e.after, e.writeKind);
+            break;
+        }
+    }
+}
+
+} // namespace proteus

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Golden-stats regression test: every logging scheme x {QE, HM, BT} at
+ * a small fixed scale must reproduce the exact counter values recorded
+ * in tests/golden/golden_stats.txt. The simulator is deterministic, so
+ * any drift is a real behavior change — either a bug, or an intended
+ * change that must be rebaselined consciously:
+ *
+ *   PROTEUS_GOLDEN_REBASELINE=1 ./proteus_unit_tests \
+ *       --gtest_filter='GoldenStats.*'
+ * or  ./proteus_unit_tests --rebaseline --gtest_filter='GoldenStats.*'
+ *
+ * Failures print a per-counter diff (golden vs actual) so the drift is
+ * readable at a glance in CI logs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hh"
+#include "sim/logging.hh"
+
+using namespace proteus;
+
+#ifndef PROTEUS_GOLDEN_DIR
+#error "PROTEUS_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+const char *goldenPath = PROTEUS_GOLDEN_DIR "/golden_stats.txt";
+
+const std::vector<LogScheme> allSchemes{
+    LogScheme::PMEM,    LogScheme::PMEMPCommit, LogScheme::PMEMNoLog,
+    LogScheme::ATOM,    LogScheme::Proteus,     LogScheme::ProteusNoLWR,
+};
+
+const std::vector<WorkloadKind> goldenWorkloads{
+    WorkloadKind::Queue, WorkloadKind::HashMap, WorkloadKind::BTree,
+};
+
+/** The counters pinned by the golden file, in file order. */
+using Counters = std::vector<std::pair<std::string, std::uint64_t>>;
+
+Counters
+countersOf(const RunResult &r)
+{
+    return Counters{
+        {"cycles", r.cycles},
+        {"retiredOps", r.retiredOps},
+        {"nvmWrites", r.nvmWrites},
+        {"nvmReads", r.nvmReads},
+        {"committedTxs", r.committedTxs},
+        {"logWritesDropped", r.logWritesDropped},
+        {"frontendStallCycles", r.frontendStallCycles},
+        {"cpiPersistStall", static_cast<std::uint64_t>(r.cpi.persistStall)},
+        {"cpiLockWait", static_cast<std::uint64_t>(r.cpi.lockWait)},
+    };
+}
+
+bool
+rebaselineRequested()
+{
+    if (std::getenv("PROTEUS_GOLDEN_REBASELINE"))
+        return true;
+    for (const std::string &arg : testing::internal::GetArgvs()) {
+        if (arg == "--rebaseline")
+            return true;
+    }
+    return false;
+}
+
+RunResult
+runCell(LogScheme scheme, WorkloadKind kind)
+{
+    BenchOptions opts;
+    opts.scale = 2000;
+    opts.initScale = 200;
+    opts.threads = 2;
+    opts.seed = 1;
+    return runExperiment(baselineConfig(), scheme, kind, opts);
+}
+
+/** golden file line: "<scheme> <workload> k=v k=v ..." */
+std::map<std::string, Counters>
+loadGolden()
+{
+    std::map<std::string, Counters> golden;
+    std::ifstream in(goldenPath);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string scheme, workload, kv;
+        ss >> scheme >> workload;
+        Counters counters;
+        while (ss >> kv) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+                ADD_FAILURE() << "bad golden line: " << line;
+                continue;
+            }
+            counters.emplace_back(kv.substr(0, eq),
+                                  std::stoull(kv.substr(eq + 1)));
+        }
+        golden[scheme + " " + workload] = std::move(counters);
+    }
+    return golden;
+}
+
+} // namespace
+
+TEST(GoldenStats, SchemesMatchGoldenCounters)
+{
+    const bool rebaseline = rebaselineRequested();
+
+    std::ostringstream out;
+    out << "# Golden simulation counters: scheme x workload at "
+           "--scale 2000 --init-scale 200 --threads 2 --seed 1.\n"
+        << "# Regenerate consciously with PROTEUS_GOLDEN_REBASELINE=1 "
+           "(or --rebaseline).\n";
+
+    std::map<std::string, Counters> golden;
+    if (!rebaseline) {
+        std::ifstream probe(goldenPath);
+        ASSERT_TRUE(probe.good())
+            << "golden file missing: " << goldenPath
+            << " — run once with PROTEUS_GOLDEN_REBASELINE=1";
+        loadGolden().swap(golden);
+    }
+
+    for (const LogScheme scheme : allSchemes) {
+        for (const WorkloadKind kind : goldenWorkloads) {
+            const std::string cell =
+                std::string(toString(scheme)) + " " + toString(kind);
+            SCOPED_TRACE(cell);
+            const RunResult r = runCell(scheme, kind);
+            ASSERT_TRUE(r.finished);
+            const Counters actual = countersOf(r);
+
+            if (rebaseline) {
+                out << toString(scheme) << " " << toString(kind);
+                for (const auto &[k, v] : actual)
+                    out << " " << k << "=" << v;
+                out << "\n";
+                continue;
+            }
+
+            const auto it = golden.find(cell);
+            ASSERT_NE(it, golden.end())
+                << "no golden row for " << cell << " — rebaseline";
+            const Counters &want = it->second;
+            ASSERT_EQ(want.size(), actual.size()) << "counter set "
+                                                  << "changed; rebaseline";
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                EXPECT_EQ(want[i].first, actual[i].first);
+                EXPECT_EQ(want[i].second, actual[i].second)
+                    << cell << ": counter '" << want[i].first
+                    << "' drifted (golden " << want[i].second
+                    << ", actual " << actual[i].second << ")";
+            }
+        }
+    }
+
+    if (rebaseline) {
+        std::ofstream os(goldenPath);
+        ASSERT_TRUE(os.good()) << "cannot write " << goldenPath;
+        os << out.str();
+        std::cout << "rebaselined " << goldenPath << "\n";
+    }
+}

@@ -57,6 +57,8 @@ usage()
         << "  --max-violations N report at most N bytes per point "
         << "(default 8)\n"
         << "  --no-serialize     skip the committed-prefix replay check\n"
+        << "  --no-trace-cache   rebuild traces per run instead of "
+        << "sharing cached bundles\n"
         << "  --break-recovery   testing hook: skip recovery (expect "
         << "violations)\n";
     return 2;
@@ -163,6 +165,8 @@ main(int argc, char **argv)
                 opts.maxViolations = std::stoul(value());
             } else if (arg == "--no-serialize") {
                 opts.checkSerialization = false;
+            } else if (arg == "--no-trace-cache") {
+                opts.useTraceCache = false;
             } else if (arg == "--break-recovery") {
                 opts.breakRecovery = true;
             } else if (arg == "--help" || arg == "-h") {

@@ -3,6 +3,7 @@
  * proteus-sim: the command-line front end to the simulator.
  *
  *   proteus-sim run    <workload> [--scheme S] [--stats] [--json]
+ *   proteus-sim replay <file.ptrace> [--stats] [--json]
  *   proteus-sim crash  <workload> [--scheme S] [--at PERCENT]
  *   proteus-sim matrix [--jobs N] [--json FILE]
  *   proteus-sim list
@@ -20,6 +21,7 @@
 #include "harness/experiments.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/system.hh"
+#include "harness/trace_io.hh"
 #include "recovery/recovery.hh"
 #include "sim/logging.hh"
 
@@ -34,6 +36,8 @@ usage()
         << "usage: proteus_sim <command> [args]\n\n"
         << "commands:\n"
         << "  run <workload>     simulate one workload to completion\n"
+        << "  replay <file>      simulate a .ptrace trace snapshot "
+        << "(proteus-trace record)\n"
         << "  crash <workload>   crash partway, recover, validate\n"
         << "  matrix             every scheme x workload, in parallel\n"
         << "  list               show workloads and schemes\n\n"
@@ -171,6 +175,32 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
     else if (extras.stats)
         system.sim().statsRegistry().dump(std::cout);
     return r.finished && err.empty() ? 0 : 1;
+}
+
+int
+cmdReplay(const std::string &path, const CliExtras &extras,
+          const BenchOptions &opts)
+{
+    const auto bundle = loadTraceBundle(path);
+    SystemConfig cfg = opts.makeConfig();
+    cfg.logging.scheme = bundle->key.scheme;
+    cfg.memCtrl.adr = bundle->key.scheme != LogScheme::PMEMPCommit;
+    if (cfg.cores < bundle->key.params.threads)
+        cfg.cores = bundle->key.params.threads;
+
+    std::cout << "replaying " << path << " ("
+              << bundle->key.describe() << ")...\n";
+    FullSystem system(cfg, bundle);
+    const RunResult r = system.run();
+    printSummary(r);
+    // No workload object travels with a snapshot, so structural
+    // invariants cannot be checked here — proteus-trace verify covers
+    // the file's integrity instead.
+    if (extras.json)
+        system.sim().statsRegistry().dumpJson(std::cout);
+    else if (extras.stats)
+        system.sim().statsRegistry().dump(std::cout);
+    return r.finished ? 0 : 1;
 }
 
 int
@@ -313,17 +343,18 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    if (command != "run" && command != "crash") {
+    if (command != "run" && command != "crash" && command != "replay") {
         std::cerr << "unknown command: " << command << "\n";
         return usage();
     }
     if (argc < 3) {
-        std::cerr << command << " requires a workload\n";
+        std::cerr << command << " requires a "
+                  << (command == "replay" ? "trace file" : "workload")
+                  << "\n";
         return usage();
     }
 
     try {
-        const WorkloadKind kind = parseWorkload(argv[2]);
         std::vector<char *> args;
         args.push_back(argv[0]);
         for (int i = 3; i < argc; ++i)
@@ -331,6 +362,9 @@ main(int argc, char **argv)
         const CliExtras extras = extractExtras(args);
         const BenchOptions opts = BenchOptions::parse(
             static_cast<int>(args.size()), args.data());
+        if (command == "replay")
+            return cmdReplay(argv[2], extras, opts);
+        const WorkloadKind kind = parseWorkload(argv[2]);
         return command == "run" ? cmdRun(kind, extras, opts)
                                 : cmdCrash(kind, extras, opts);
     } catch (const FatalError &e) {
