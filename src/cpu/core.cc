@@ -92,6 +92,24 @@ Core::Core(Simulator &sim, const SystemConfig &cfg, CoreId id,
       _cpiLockWait(sim.statsRegistry(), _name + ".cpi.lockWait",
                    "commit slots: ROB head waiting on a lock")
 {
+    _perCycleStats = {&_cycles,
+                      &_frontendStalls,
+                      &_frontendStallRob,
+                      &_frontendStallRegs,
+                      &_frontendStallLsq,
+                      &_frontendStallLogHw,
+                      &_retireStallFence,
+                      &_retireStallAtom,
+                      &_retireStallTxEnd,
+                      &_sbOrderingStalls,
+                      &_cpiBase,
+                      &_cpiRobFull,
+                      &_cpiIqLsqFull,
+                      &_cpiBranchRedirect,
+                      &_cpiPersistStall,
+                      &_cpiWpqBackpressure,
+                      &_cpiLockWait};
+
     const unsigned phys = cfg.cpu.physIntRegs;
     if (phys <= numArchRegs)
         fatal("Core: physIntRegs must exceed ", numArchRegs);
@@ -135,6 +153,11 @@ Core::done() const
 void
 Core::tick(Tick now)
 {
+    for (unsigned i = 0; i < numPerCycleStats; ++i)
+        _preTickValues[i] = _perCycleStats[i]->value();
+    _tickBusy = false;
+    _poked = false;
+
     ++_cycles;
     _headBlock = RetireBlock::None;
     _sbBlockedOnLog = false;
@@ -147,6 +170,37 @@ Core::tick(Tick now)
     dispatchStage();
     fetchStage();
     accountCommitSlot(_retired.value() > before, now);
+    if (_retired.value() > before)
+        _tickBusy = true;
+}
+
+Tick
+Core::nextWake(Tick now)
+{
+    if (_tickBusy || _poked)
+        return now;
+    // The branch-redirect resume is the one purely time-based state
+    // change: it gates fetch and flips the ROB-empty CPI bucket, with
+    // no event announcing it.
+    if (_fetchResumeAt >= now)
+        return _fetchResumeAt;
+    return maxTick;
+}
+
+void
+Core::accountSkipped(Tick from, Tick to)
+{
+    // A pure-blocked tick repeats the exact same stat bumps every cycle
+    // until an external change (always event-signaled or covered by
+    // nextWake) arrives, so replaying the last tick's deltas keeps all
+    // cycle-denominated stats bit-identical with skipping off.
+    const double n = static_cast<double>(to - from);
+    for (unsigned i = 0; i < numPerCycleStats; ++i) {
+        const double delta =
+            _perCycleStats[i]->value() - _preTickValues[i];
+        if (delta != 0.0)
+            *_perCycleStats[i] += delta * n;
+    }
 }
 
 CpiStack
@@ -273,6 +327,7 @@ Core::fetchStage()
         }
         const MicroOp *mop = &_trace.op(_fetchIndex);
         ++_fetchIndex;
+        _tickBusy = true;
         _fetchQueue.push_back(mop);
         if (mop->op == Op::Branch) {
             const bool predicted = _predictor.predict(mop->staticPc);
@@ -472,6 +527,7 @@ Core::dispatchStage()
             stalled = true;
             break;
         }
+        _tickBusy = true;
         _fetchQueue.pop_front();
         _predictedTaken.pop_front();
     }
@@ -506,6 +562,7 @@ Core::setDstReady(DynInst &inst)
 void
 Core::completeInst(DynInst &inst)
 {
+    _poked = true;
     inst.completed = true;
     setDstReady(inst);
 }
@@ -590,6 +647,7 @@ Core::executeInst(DynInst &inst, Tick now)
         req.txId = _logQ.record(entry).txId;
         req.data = _logQ.record(entry).toBytes();
         _caches.sendLogWrite(req, [this, entry]() {
+            _poked = true;
             _logQ.deallocate(entry);
             traceLogQOccupancy();
         });
@@ -635,6 +693,9 @@ Core::issueStage(Tick now)
                 continue;
         }
 
+        // Issuing — even an attempt the caches reject — touches cache
+        // state and stats, so the cycle counts as busy.
+        _tickBusy = true;
         inst->issued = true;
         executeInst(*inst, now);
         if (!inst->issued)
@@ -660,6 +721,7 @@ Core::issueStage(Tick now)
 void
 Core::startAtomLog(DynInst &inst)
 {
+    _tickBusy = true;
     inst.atomLogState = 1;
     ++_atomPendingLogs;
     const Addr block = blockAlign(inst.mop->addr);
@@ -675,6 +737,7 @@ Core::startAtomLog(DynInst &inst)
         if (next >= blockSize / logDataSize) {
             // Both granules accepted; the ack travels back.
             _sim.schedule(atomLogOneWay, [this, ip]() {
+                _poked = true;
                 ip->atomLogState = 2;
                 --_atomPendingLogs;
             });
@@ -755,9 +818,13 @@ Core::canRetire(DynInst &inst, Tick now)
         return true;
       case Op::PCommit:
         if (!inst.pcommitIssued) {
+            _tickBusy = true;
             inst.pcommitIssued = true;
             DynInst *ip = &inst;
-            _mc.drain([ip]() { ip->completed = true; });
+            _mc.drain([this, ip]() {
+                _poked = true;
+                ip->completed = true;
+            });
         }
         if (!inst.completed) {
             ++_retireStallFence;
@@ -766,10 +833,14 @@ Core::canRetire(DynInst &inst, Tick now)
         return inst.completed;
       case Op::LogSave:
         if (!inst.logSaveIssued) {
+            _tickBusy = true;
             inst.logSaveIssued = true;
             _savedCtx = _txCtx.save();
             DynInst *ip = &inst;
-            _mc.flushCoreLogs(_id, [ip]() { ip->completed = true; });
+            _mc.flushCoreLogs(_id, [this, ip]() {
+                _poked = true;
+                ip->completed = true;
+            });
         }
         if (!inst.completed)
             _headBlock = RetireBlock::Persist;
@@ -973,9 +1044,12 @@ Core::releaseStoreBuffer(Tick now)
             // stores so it writes back post-store data.
             if (_outstandingStores > 0)
                 return;
+            _tickBusy = true;
             ++_pendingFlushAcks;
-            _caches.flush(_id, entry.addr, entry.tx,
-                          [this]() { --_pendingFlushAcks; });
+            _caches.flush(_id, entry.addr, entry.tx, [this]() {
+                _poked = true;
+                --_pendingFlushAcks;
+            });
             _storeBuffer.pop_front();
             continue;
         }
@@ -995,9 +1069,14 @@ Core::releaseStoreBuffer(Tick now)
 
         const Addr block = blockAlign(entry.addr);
         const SbEntry released = entry;
+        // The store attempt mutates cache stats and the consistency
+        // tracker even when the MSHRs reject it, so the cycle is busy
+        // either way.
+        _tickBusy = true;
         const bool ok = _caches.store(
             _id, released.addr, released.size, released.value,
             released.tx, [this, released, block]() {
+                _poked = true;
                 --_outstandingStores;
                 auto it = _outstandingPerBlock.find(block);
                 if (it != _outstandingPerBlock.end() &&
@@ -1030,9 +1109,12 @@ Core::releaseAutoFlushes()
         return;     // wait for the block's stores to reach the cache
     _autoFlushQueue.pop_front();
     _autoFlushPending.erase(block);
+    _tickBusy = true;
     ++_autoFlushAcks;
-    _caches.flush(_id, block, _retireTxId,
-                  [this]() { --_autoFlushAcks; });
+    _caches.flush(_id, block, _retireTxId, [this]() {
+        _poked = true;
+        --_autoFlushAcks;
+    });
 }
 
 } // namespace proteus

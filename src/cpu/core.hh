@@ -32,6 +32,7 @@
 #ifndef PROTEUS_CPU_CORE_HH
 #define PROTEUS_CPU_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <set>
@@ -116,6 +117,19 @@ class Core : public Ticked
 
     void tick(Tick now) override;
     const std::string &componentName() const override { return _name; }
+
+    /**
+     * Quiescence protocol: busy whenever the last tick made progress,
+     * retried a rejected cache access, or an execution callback landed
+     * since; a pure-blocked core (fence/persist stall, log-ack wait,
+     * lock wait, ROB empty awaiting a response, trace exhausted) sleeps
+     * until the next event, except for the time-based branch-redirect
+     * resume which is reported explicitly.
+     */
+    Tick nextWake(Tick now) override;
+    /** Replay the last blocked tick's per-cycle stat bumps (cycle count,
+     *  CPI bucket, stall counters) for each skipped cycle. */
+    void accountSkipped(Tick from, Tick to) override;
 
     /** Bind the software-allocated Proteus log area (Section 4.1). */
     void bindLogArea(Addr start, Addr end);
@@ -340,6 +354,22 @@ class Core : public Ticked
     stats::Scalar _cpiPersistStall;
     stats::Scalar _cpiWpqBackpressure;
     stats::Scalar _cpiLockWait;
+
+    /// @name Quiescence (cycle skipping)
+    /// @{
+    /** Every scalar a pure-blocked tick can bump: the cycle counter,
+     *  the CPI buckets, and the per-cycle stall counters. Snapshotted
+     *  at tick start so accountSkipped can replay the last tick's exact
+     *  deltas for each skipped cycle. */
+    static constexpr unsigned numPerCycleStats = 17;
+    std::array<stats::Scalar *, numPerCycleStats> _perCycleStats{};
+    std::array<double, numPerCycleStats> _preTickValues{};
+    /** Last tick made progress or performed a side-effectful retry. */
+    bool _tickBusy = true;
+    /** An execution/ack callback mutated core state after the last
+     *  tick (cleared at tick start). */
+    bool _poked = false;
+    /// @}
 };
 
 } // namespace proteus

@@ -298,6 +298,7 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
     cfg.logging.scheme = scheme;
     cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
     cfg.seed = opts.seed;
+    cfg.cycleSkip = opts.cycleSkip;
     if (opts.threads > cfg.cores)
         cfg.cores = opts.threads;
 

@@ -76,6 +76,10 @@ struct CrashTestOptions
      * the cache on or off.
      */
     bool useTraceCache = true;
+    /** Quiescence-driven cycle skipping (see SystemConfig::cycleSkip).
+     *  Crash points are cycle numbers; skipping clamps to them via
+     *  run()'s limit, so sweeps are bit-identical either way. */
+    bool cycleSkip = true;
     bool verbose = false;
 };
 

@@ -39,6 +39,14 @@ class NvmTiming
     /** @return true if the bank can accept a command at @p now. */
     bool bankReady(Addr addr, Tick now) const;
 
+    /** @return the tick at which @p addr's bank accepts its next
+     *  command (quiescence wake hints). */
+    Tick
+    bankReadyAt(Addr addr) const
+    {
+        return _banks[bankIndex(addr)].readyAt;
+    }
+
     /** @return true if @p addr hits the currently open row. */
     bool rowHit(Addr addr) const;
 

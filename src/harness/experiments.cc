@@ -39,6 +39,8 @@ BenchOptions::parse(int argc, char **argv)
             opts.dram = true;
         } else if (arg == "--no-trace-cache") {
             opts.traceCache = false;
+        } else if (arg == "--no-cycle-skip") {
+            opts.cycleSkip = false;
         } else if (arg == "--set") {
             opts.overrides.push_back(next());
         } else if (arg == "--stats-interval") {
@@ -67,6 +69,8 @@ BenchOptions::parse(int argc, char **argv)
                 << "logging.logQEntries=8\n"
                 << "  --no-trace-cache  rebuild traces per run instead "
                 << "of sharing cached bundles\n"
+                << "  --no-cycle-skip   tick every cycle instead of "
+                << "skipping quiescent spans (same results, slower)\n"
                 << "  --stats-interval N  sample scalar-stat deltas "
                 << "every N cycles\n"
                 << "  --stats-out FILE    interval time series "
@@ -88,6 +92,7 @@ BenchOptions::makeConfig() const
 {
     SystemConfig cfg = dram ? dramConfig() : baselineConfig();
     cfg.seed = seed;
+    cfg.cycleSkip = cycleSkip;
     if (statsInterval > 0 && statsOut.empty())
         fatal("--stats-interval requires --stats-out FILE");
     cfg.obs.statsInterval = statsInterval;

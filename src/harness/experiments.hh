@@ -27,6 +27,7 @@ struct BenchOptions
     bool dram = false;          ///< use the Section 7.2 DRAM config
     std::string jsonPath;       ///< write per-run JSON rows ("" = off)
     bool traceCache = true;     ///< share TraceBundles across runs
+    bool cycleSkip = true;      ///< --no-cycle-skip to force per-cycle
     std::vector<std::string> overrides;
 
     /// @name Observability (see ObservabilityConfig)
@@ -39,7 +40,8 @@ struct BenchOptions
 
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
-     *  --no-trace-cache, --stats-interval N, --stats-out FILE,
+     *  --no-trace-cache, --no-cycle-skip,
+     *  --stats-interval N, --stats-out FILE,
      *  --trace-events FILE, and --trace-categories LIST.
      *  Exits on --help. */
     static BenchOptions parse(int argc, char **argv);

@@ -54,6 +54,7 @@ void
 FullSystem::wire()
 {
     _sim = std::make_unique<Simulator>();
+    _sim->setCycleSkip(_cfg.cycleSkip);
 
     // Attach the trace sink before any timing component is built so
     // component constructors can define their tracks.

@@ -96,6 +96,7 @@ MemCtrl::read(Addr addr, std::function<void()> on_complete)
 {
     if (!canAcceptRead())
         panic("MemCtrl::read on full read queue");
+    _poked = true;
     ++_readsAccepted;
     const Addr block = blockAlign(addr);
 
@@ -126,6 +127,7 @@ MemCtrl::write(const WriteRequest &req)
         panic("MemCtrl::write on full queue");
     if (req.addr != blockAlign(req.addr))
         panic("MemCtrl::write with unaligned address");
+    _poked = true;
 
     QueuedWrite qw;
     qw.req = req;
@@ -217,6 +219,7 @@ MemCtrl::logGranuleDurable(CoreId core, TxId tx, Addr granule) const
 void
 MemCtrl::txEnd(CoreId core, TxId tx)
 {
+    _poked = true;
     _durableLogs.erase(CoreTx{core, tx});
     if (!_useLpq)
         return;
@@ -358,6 +361,7 @@ MemCtrl::atomLog(CoreId core, TxId tx, const LogRecord &record)
 void
 MemCtrl::atomTxEnd(CoreId core, TxId tx, std::function<void()> on_done)
 {
+    _poked = true;
     _durableLogs.erase(CoreTx{core, tx});
     auto it = _atomTx.find(CoreTx{core, tx});
     if (it == _atomTx.end() || it->second.entries.empty()) {
@@ -451,6 +455,7 @@ MemCtrl::drain(std::function<void()> on_drained)
 {
     // pcommit semantics: only writes accepted before this point must
     // reach NVM; later arrivals are not waited for.
+    _poked = true;
     _drainWaiters.emplace_back(_acceptSeq, std::move(on_drained));
 }
 
@@ -470,6 +475,7 @@ MemCtrl::oldestPendingSeq() const
 void
 MemCtrl::flushCoreLogs(CoreId core, std::function<void()> on_done)
 {
+    _poked = true;
     for (QueuedWrite &w : _lpq) {
         if (w.req.core == core)
             w.forced = true;
@@ -548,9 +554,14 @@ void
 MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
                          Tick now)
 {
-    QueuedWrite w = queue[idx];
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
-
+    // The completion closure captures only (addr, seq): the data bytes
+    // already live in _inflightData for battery-drain purposes, so
+    // capturing the whole QueuedWrite (with its 64B payload) would copy
+    // the block twice and blow past std::function's inline storage on
+    // this hot path.
+    const QueuedWrite &w = queue[idx];
+    const Addr addr = w.req.addr;
+    const std::uint64_t seq = w.seq;
     const bool is_log_queue = (&queue == &_lpq);
     if (!is_log_queue && w.req.kind == WriteKind::AtomLog)
         --_atomLogsQueued;
@@ -561,19 +572,22 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
     } else {
         ++_inflightWrites;
     }
-    _inflightWriteAddrs.insert(w.req.addr);
-    _inflightSeqs.insert(w.seq);
-    _inflightData.emplace(w.seq,
-                          std::make_pair(w.req.addr, w.req.data));
+    _inflightWriteAddrs.insert(addr);
+    _inflightSeqs.insert(seq);
+    _inflightData.emplace(seq, std::make_pair(addr, w.req.data));
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
 
-    const Tick done = _dram.issue(w.req.addr, true, now);
-    _sim.events().schedule(done, [this, w, is_log_queue]() {
-        _nvm.write(w.req.addr, w.req.data.data(), w.req.data.size());
-        auto it = _inflightWriteAddrs.find(w.req.addr);
+    const Tick done = _dram.issue(addr, true, now);
+    _sim.events().schedule(done, [this, addr, seq, is_log_queue]() {
+        auto dit = _inflightData.find(seq);
+        if (dit == _inflightData.end())
+            panic("MemCtrl: completed write lost its in-flight data");
+        _nvm.write(addr, dit->second.second.data(), blockSize);
+        _inflightData.erase(dit);
+        auto it = _inflightWriteAddrs.find(addr);
         if (it != _inflightWriteAddrs.end())
             _inflightWriteAddrs.erase(it);
-        _inflightSeqs.erase(w.seq);
-        _inflightData.erase(w.seq);
+        _inflightSeqs.erase(seq);
         if (is_log_queue)
             --_inflightLogs;
         else
@@ -727,6 +741,11 @@ MemCtrl::checkDrainDone()
 void
 MemCtrl::tick(Tick now)
 {
+    _preWriteAttempts = _writeAttempts.value();
+    _preWriteNoCandidate = _writeNoCandidate.value();
+    _tickBusy = false;
+    _poked = false;
+
     _wpqOccupancy.sample(_wpq.size());
     _inflightSample.sample(_inflightWrites);
     _lpqOccupancy.sample(_lpq.size() + _inflightLogs);
@@ -745,17 +764,92 @@ MemCtrl::tick(Tick now)
             _lastLpqEmit = lpq;
         }
     }
+
+    // Progress detection for the quiescence hint: truncation pumping
+    // accepts reads/writes (bumping _readsAccepted/_acceptSeq) or
+    // retires a job; drain checks consume waiters.
+    const std::uint64_t acceptBefore = _acceptSeq;
+    const double readsBefore = _readsAccepted.value();
+    const std::size_t truncBefore = _atomTruncations.size();
+    const std::size_t drainBefore = _drainWaiters.size();
+    const unsigned flushBefore = _coreFlushWaiterCount;
+
     pumpAtomTruncation();
 
     // One command per cycle: reads first, then regular writes, then the
     // de-prioritized log writes (Section 4.3 arbiter).
-    if (!tryIssueRead(now)) {
-        if (!tryIssueWrite(now))
-            tryIssueLog(now);
-    }
+    bool issued = tryIssueRead(now);
+    if (!issued)
+        issued = tryIssueWrite(now);
+    if (!issued)
+        issued = tryIssueLog(now);
 
     if (!_drainWaiters.empty() || _coreFlushWaiterCount > 0)
         checkDrainDone();
+
+    if (issued || _acceptSeq != acceptBefore ||
+        _readsAccepted.value() != readsBefore ||
+        _atomTruncations.size() != truncBefore ||
+        _drainWaiters.size() != drainBefore ||
+        _coreFlushWaiterCount != flushBefore) {
+        _tickBusy = true;
+    }
+}
+
+Tick
+MemCtrl::nextWake(Tick now)
+{
+    if (_tickBusy || _poked)
+        return now;
+
+    // Everything left is blocked on either a scheduled completion event
+    // (the kernel clamps skips to those) or pure passage of time: a bank
+    // coming ready, or a queue front crossing the aged-write threshold
+    // that flips the pressure/conflict-aversion decisions.
+    // The last tick ran at now-1, so anything crossing a time threshold
+    // exactly at `now` is newly actionable this cycle: the comparisons
+    // below must be >= now, not > now. A bank ready strictly before now
+    // was already ready during the last (idle) tick and the arbiter
+    // still declined it, so only the aged threshold can unblock it.
+    Tick wake = maxTick;
+    auto bankWake = [&](Addr addr) {
+        const Tick at = _dram.bankReadyAt(addr);
+        if (at >= now)
+            wake = std::min(wake, at);
+    };
+    const std::size_t rdepth = std::min(_readQ.size(), scanLimit);
+    for (std::size_t i = 0; i < rdepth; ++i)
+        bankWake(_readQ[i].addr);
+    auto queueWake = [&](const std::deque<QueuedWrite> &q) {
+        if (q.empty())
+            return;
+        const Tick aged = q.front().acceptedAt + agedWriteTicks + 1;
+        if (aged >= now)
+            wake = std::min(wake, aged);
+        const std::size_t depth = std::min(q.size(), scanLimit);
+        for (std::size_t i = 0; i < depth; ++i)
+            bankWake(q[i].req.addr);
+    };
+    queueWake(_wpq);
+    queueWake(_lpq);
+    return wake;
+}
+
+void
+MemCtrl::accountSkipped(Tick from, Tick to)
+{
+    const std::uint64_t n = to - from;
+    _wpqOccupancy.sample(static_cast<double>(_wpq.size()), n);
+    _inflightSample.sample(static_cast<double>(_inflightWrites), n);
+    _lpqOccupancy.sample(
+        static_cast<double>(_lpq.size() + _inflightLogs), n);
+    const double attempts = _writeAttempts.value() - _preWriteAttempts;
+    if (attempts != 0.0)
+        _writeAttempts += attempts * static_cast<double>(n);
+    const double nocand =
+        _writeNoCandidate.value() - _preWriteNoCandidate;
+    if (nocand != 0.0)
+        _writeNoCandidate += nocand * static_cast<double>(n);
 }
 
 } // namespace proteus

@@ -64,6 +64,18 @@ class MemCtrl : public Ticked
     void tick(Tick now) override;
     const std::string &componentName() const override { return _name; }
 
+    /**
+     * Quiescence protocol: busy while the last tick made progress or a
+     * request arrived since; otherwise idle until the earliest bank
+     * ready time among scanned queue entries or an aged-write pressure
+     * threshold — everything else the arbiter reacts to changes only
+     * via scheduled events, which the kernel never skips past.
+     */
+    Tick nextWake(Tick now) override;
+    /** Replay per-cycle occupancy samples and arbiter-attempt counters
+     *  for skipped cycles. */
+    void accountSkipped(Tick from, Tick to) override;
+
     /// @name Read path
     /// @{
     bool canAcceptRead() const;
@@ -303,6 +315,19 @@ class MemCtrl : public Ticked
     stats::Average _inflightSample;
     stats::Scalar _writeAttempts;
     stats::Scalar _writeNoCandidate;
+
+    /// @name Quiescence (cycle skipping)
+    /// @{
+    /** Last tick made progress (issued, accepted, or completed work). */
+    bool _tickBusy = true;
+    /** A request arrived after this controller's last tick (set by the
+     *  public entry points, cleared at tick start). */
+    bool _poked = false;
+    /** Pre-tick values of the per-cycle arbiter counters; a blocked
+     *  tick's deltas are replayed verbatim for skipped cycles. */
+    double _preWriteAttempts = 0;
+    double _preWriteNoCandidate = 0;
+    /// @}
 
     /// @name Trace-event output (memctrl category)
     /// @{

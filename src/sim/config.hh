@@ -172,6 +172,13 @@ struct SystemConfig
     LoggingConfig logging;
     ObservabilityConfig obs;
     std::uint64_t seed = 1;
+    /**
+     * Quiescence-driven cycle skipping in the simulation kernel. On by
+     * default; results are bit-identical either way (the skip protocol
+     * is observationally invisible), so this exists only as an escape
+     * hatch and for A/B timing (`--no-cycle-skip`).
+     */
+    bool cycleSkip = true;
 
     /**
      * Apply a "key=value" override, e.g. "logging.logQEntries=8" or

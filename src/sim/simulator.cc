@@ -1,8 +1,27 @@
 #include "simulator.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "logging.hh"
 
 namespace proteus {
+
+namespace {
+/**
+ * Debug aid (set PROTEUS_SKIP_AUDIT=1): execute would-be-skipped spans
+ * tick by tick and report any component that turns busy mid-span. A
+ * report means that component's nextWake() violated the quiescence
+ * contract; results are still correct in this mode because nothing is
+ * actually skipped.
+ */
+bool
+skipAuditEnabled()
+{
+    static const bool on = std::getenv("PROTEUS_SKIP_AUDIT") != nullptr;
+    return on;
+}
+} // namespace
 
 void
 Simulator::addTicked(Ticked *component)
@@ -19,21 +38,78 @@ Simulator::schedule(Tick delay, EventQueue::Callback cb)
 }
 
 void
+Simulator::skipIdleCycles(Tick limit)
+{
+    // Clamp to the next due event first: events are the only way external
+    // state reaches a quiescent component, so we must execute the cycle
+    // they fire in. Interval-stats boundaries are self-scheduled events,
+    // so they clamp the skip automatically.
+    Tick target = std::min(_events.nextEventTick(), limit);
+    if (target <= _now)
+        return;
+    for (Ticked *c : _components) {
+        const Tick wake = c->nextWake(_now);
+        if (wake <= _now)
+            return;                     // busy (or unprovable): no skip
+        target = std::min(target, wake);
+    }
+    if (skipAuditEnabled()) {
+        // Execute the span instead of skipping; any busy report inside
+        // it means nextWake lied.
+        const Tick from = _now;
+        while (_now < target) {
+            _events.runUntil(_now);
+            for (Ticked *c : _components)
+                c->tick(_now);
+            for (Ticked *c : _components) {
+                if (c->nextWake(_now) <= _now) {
+                    std::fprintf(stderr,
+                                 "SKIP-AUDIT: %s busy at %llu inside "
+                                 "span [%llu, %llu)\n",
+                                 c->componentName().c_str(),
+                                 static_cast<unsigned long long>(_now),
+                                 static_cast<unsigned long long>(from),
+                                 static_cast<unsigned long long>(target));
+                }
+            }
+            ++_now;
+        }
+        return;
+    }
+    for (Ticked *c : _components)
+        c->accountSkipped(_now, target);
+    _skippedCycles += target - _now;
+    _now = target;
+}
+
+void
 Simulator::run(Tick cycles)
 {
+    const Tick end = _now + cycles;
     _stopRequested = false;
-    for (Tick i = 0; i < cycles && !_stopRequested; ++i)
+    while (_now < end && !_stopRequested) {
         stepOneCycle();
+        if (_cycleSkip && !_stopRequested && _now < end)
+            skipIdleCycles(end);
+    }
 }
 
 bool
 Simulator::runUntil(const std::function<bool()> &done, Tick maxCycles)
 {
     _stopRequested = false;
-    for (Tick i = 0; i < maxCycles && !_stopRequested; ++i) {
+    if (done())
+        return true;
+    const Tick end = _now + maxCycles;
+    // The predicate is only re-evaluated at activity boundaries (after a
+    // cycle actually executed): skipped cycles change no state by
+    // construction, so the predicate cannot flip during a skipped span.
+    while (_now < end && !_stopRequested) {
+        stepOneCycle();
         if (done())
             return true;
-        stepOneCycle();
+        if (_cycleSkip && !_stopRequested && _now < end)
+            skipIdleCycles(end);
     }
     return done();
 }

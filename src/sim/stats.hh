@@ -82,6 +82,16 @@ class Average : public StatBase
 
     void sample(double v) { _sum += v; ++_count; }
 
+    /** Record @p v as @p n identical samples (bulk replay of skipped
+     *  cycles). Sample values are small integers, so the weighted sum
+     *  is bit-identical to n individual sample() calls. */
+    void
+    sample(double v, std::uint64_t n)
+    {
+        _sum += v * static_cast<double>(n);
+        _count += n;
+    }
+
     double value() const override { return _count ? _sum / _count : 0; }
     std::uint64_t count() const { return _count; }
     void reset() override { _sum = 0; _count = 0; }

@@ -59,6 +59,8 @@ usage()
         << "  --no-serialize     skip the committed-prefix replay check\n"
         << "  --no-trace-cache   rebuild traces per run instead of "
         << "sharing cached bundles\n"
+        << "  --no-cycle-skip    tick every cycle instead of skipping "
+        << "quiescent spans (same results, slower)\n"
         << "  --break-recovery   testing hook: skip recovery (expect "
         << "violations)\n";
     return 2;
@@ -167,6 +169,8 @@ main(int argc, char **argv)
                 opts.checkSerialization = false;
             } else if (arg == "--no-trace-cache") {
                 opts.useTraceCache = false;
+            } else if (arg == "--no-cycle-skip") {
+                opts.cycleSkip = false;
             } else if (arg == "--break-recovery") {
                 opts.breakRecovery = true;
             } else if (arg == "--help" || arg == "-h") {

@@ -53,7 +53,9 @@ usage()
         << "  --threads N        simulated cores (default 4)\n"
         << "  --seed N           workload RNG seed\n"
         << "  --dram             DRAM timing (Section 7.2)\n"
-        << "  --set k=v          config override\n\n"
+        << "  --set k=v          config override\n"
+        << "  --no-cycle-skip    tick every cycle instead of skipping "
+        << "quiescent spans (same results, slower)\n\n"
         << "observability (run/crash/matrix):\n"
         << "  --stats-interval N sample scalar-stat deltas every N "
         << "cycles\n"
@@ -165,6 +167,9 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
     FullSystem system(cfg, kind, params);
     const RunResult r = system.run();
     printSummary(r);
+    std::cout << "kernel steps:       " << system.sim().kernelSteps()
+              << " (" << system.sim().skippedCycles()
+              << " cycles skipped)\n";
 
     const std::string err = system.workload().checkInvariants(
         system.heap().volatileImage());
@@ -193,6 +198,9 @@ cmdReplay(const std::string &path, const CliExtras &extras,
     FullSystem system(cfg, bundle);
     const RunResult r = system.run();
     printSummary(r);
+    std::cout << "kernel steps:       " << system.sim().kernelSteps()
+              << " (" << system.sim().skippedCycles()
+              << " cycles skipped)\n";
     // No workload object travels with a snapshot, so structural
     // invariants cannot be checked here — proteus-trace verify covers
     // the file's integrity instead.
