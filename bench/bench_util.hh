@@ -67,6 +67,18 @@ runBatch(const BenchOptions &opts, const std::vector<SimJob> &jobs)
                                          results[i].wallMs});
         writeJsonResults(opts.jsonPath, rows);
     }
+    if (!opts.txStats.empty()) {
+        // One combined flight-recorder file, rows in submission order
+        // (the runner suppressed per-job writes), so the bytes are
+        // identical at any --jobs level.
+        std::vector<obs::TxStatsRow> rows;
+        rows.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            rows.push_back(makeTxStatsRow(opts, jobs[i].scheme,
+                                          jobs[i].kind,
+                                          results[i].result));
+        obs::writeTxStatsFile(opts.txStats, rows);
+    }
     return results;
 }
 

@@ -201,6 +201,14 @@ Core::accountSkipped(Tick from, Tick to)
         if (delta != 0.0)
             *_perCycleStats[i] += delta * n;
     }
+    // The per-tx commit-slot feed mirrors the scalar replay: a blocked
+    // tick's bucket (and the transaction live at retirement) repeats
+    // for every skipped cycle.
+    if (_txObs && to > from) {
+        _txObs->commitSlot(_id, _retireTxId,
+                           static_cast<obs::TxSlot>(_lastSlotBucket),
+                           to - from);
+    }
 }
 
 CpiStack
@@ -306,6 +314,17 @@ Core::accountCommitSlot(bool retired, Tick now)
       case CommitBucket::LockWait:        ++_cpiLockWait; break;
     }
 
+    // obs::TxSlot mirrors CommitBucket value-for-value (obs cannot
+    // depend on cpu), so the cast is the mapping. Accounting runs after
+    // retireStage: a tx-begin tick counts toward the new transaction
+    // and a commit tick does not, making the per-tx slots sum exactly
+    // to commitTick - beginTick.
+    _lastSlotBucket = bucket;
+    if (_txObs) {
+        _txObs->commitSlot(_id, _retireTxId,
+                           static_cast<obs::TxSlot>(bucket), 1);
+    }
+
     if (_traceSink)
         tracePhase(bucket, now);
 }
@@ -404,6 +423,7 @@ Core::dispatchOne(const MicroOp &mop)
     DynInst &inst = _rob.back();
     inst.mop = &mop;
     inst.seq = _nextSeq++;
+    inst.txId = _txCtx.txId();      // before TxBegin below updates it
 
     // Rename.
     if (mop.src0 != noReg)
@@ -461,6 +481,11 @@ Core::dispatchOne(const MicroOp &mop)
             inst.completed = true;
             inst.lltHit = true;
             _lastLogLoadWasHit = false;
+            if (_txObs) {
+                _txObs->logFiltered(
+                    _id, _trace.logPayload(mop.payload).txId,
+                    _sim.now());
+            }
             break;
         }
         const LogPayload &payload = _trace.logPayload(mop.payload);
@@ -475,6 +500,9 @@ Core::dispatchOne(const MicroOp &mop)
         const Addr log_to = _txCtx.nextLogTo();
         inst.logQEntry =
             _logQ.allocate(inst.seq, payload.fromAddr, log_to, rec);
+        inst.logCreatedAt = _sim.now();
+        if (_txObs)
+            _txObs->logCreated(_id, payload.txId, _sim.now());
         traceLogQOccupancy();
         inst.inIq = true;
         _iq.push_back(&inst);
@@ -646,17 +674,32 @@ Core::executeInst(DynInst &inst, Tick now)
         req.core = _id;
         req.txId = _logQ.record(entry).txId;
         req.data = _logQ.record(entry).toBytes();
-        _caches.sendLogWrite(req, [this, entry]() {
+        const TxId log_tx = req.txId;
+        const Tick created_at = inst.logCreatedAt;
+        _caches.sendLogWrite(req, [this, entry, log_tx, created_at]() {
             _poked = true;
             _logQ.deallocate(entry);
             traceLogQOccupancy();
+            if (_txObs)
+                _txObs->logAcked(_id, log_tx, created_at, _sim.now());
         });
         _sim.schedule(1, [this, ip]() { completeInst(*ip); });
         break;
       }
       case Op::LockAcquire:
+        if (_txObs) {
+            _txObs->lockRequested(_id, inst.txId, inst.mop->addr,
+                                  _sim.now());
+        }
         _locks.acquire(inst.mop->addr, _id, inst.mop->data,
-                       [this, ip]() { completeInst(*ip); });
+                       [this, ip]() {
+                           if (_txObs) {
+                               _txObs->lockGranted(_id, ip->txId,
+                                                   ip->mop->addr,
+                                                   _sim.now());
+                           }
+                           completeInst(*ip);
+                       });
         break;
       default:
         panic("executeInst: op ", toString(inst.mop->op),
@@ -727,19 +770,30 @@ Core::startAtomLog(DynInst &inst)
     const Addr block = blockAlign(inst.mop->addr);
     const TxId tx = _retireTxId;
 
+    // One ATOM block pair counts as one log record for the flight
+    // recorder: created when the MC trip starts, acked when the ack
+    // returns (the paired granule writes are MC-internal detail).
+    const Tick created_at = _sim.now();
+    if (_txObs)
+        _txObs->logCreated(_id, tx, created_at);
+
     auto snapshot = _caches.tracker().snapshot(block);
     auto submit = std::make_shared<std::function<void(unsigned)>>();
     DynInst *ip = &inst;
     // Self-capture must be weak or the closure keeps itself alive
     // forever; the scheduled continuations hold the strong refs.
     std::weak_ptr<std::function<void(unsigned)>> weak = submit;
-    *submit = [this, ip, block, tx, snapshot, weak](unsigned next) {
+    *submit = [this, ip, block, tx, snapshot, weak,
+               created_at](unsigned next) {
         if (next >= blockSize / logDataSize) {
             // Both granules accepted; the ack travels back.
-            _sim.schedule(atomLogOneWay, [this, ip]() {
+            _sim.schedule(atomLogOneWay, [this, ip, tx, created_at]() {
                 _poked = true;
                 ip->atomLogState = 2;
                 --_atomPendingLogs;
+                if (_txObs) {
+                    _txObs->logAcked(_id, tx, created_at, _sim.now());
+                }
             });
             return;
         }
@@ -927,6 +981,13 @@ Core::doRetire(DynInst &inst, Tick now)
         _atomLogStarted.clear();
         _atomSeq = 0;
         _txStartTick = now;
+        if (_txObs)
+            _txObs->txBegin(_id, mop.data, now);
+        if (_traceSink && _trkTx) {
+            _traceSink->flowStart(TraceCatCpu, _trkTx,
+                                  "tx" + std::to_string(mop.data), now,
+                                  obs::txFlowId(_id, mop.data));
+        }
         break;
       case Op::TxEnd: {
         const TxId tx = mop.data;
@@ -940,11 +1001,18 @@ Core::doRetire(DynInst &inst, Tick now)
         _committedTxs.push_back(tx);
         _commitCycles.push_back(now);
         ++_committedTxStat;
+        // After _mc.txEnd so any flash-clear drops are recorded into
+        // the still-open transaction before it closes.
+        if (_txObs)
+            _txObs->txCommit(_id, tx, now);
         if (_traceSink && _trkTx) {
             _traceSink->complete(TraceCatCpu, _trkTx,
                                  "tx" + std::to_string(tx),
                                  _txStartTick, now);
             _traceSink->instant(TraceCatCpu, _trkTx, "commit", now);
+            _traceSink->flowFinish(TraceCatCpu, _trkTx,
+                                   "tx" + std::to_string(tx), now,
+                                   obs::txFlowId(_id, tx));
         }
         break;
       }

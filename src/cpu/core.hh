@@ -47,6 +47,7 @@
 #include "logging/log_queue.hh"
 #include "logging/tx_context.hh"
 #include "memctrl/mem_ctrl.hh"
+#include "obs/tx_observer.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 
@@ -149,6 +150,14 @@ class Core : public Ticked
     /** Enable the persist-ordering invariant checker (tests). */
     void setOrderingChecks(bool on) { _checkOrdering = on; }
 
+    /**
+     * Attach a transaction flight-recorder observer (nullptr detaches).
+     * Hooks fire at retirement boundaries, log-record lifecycle points,
+     * lock request/grant, and once per accounted commit-slot cycle;
+     * when no observer is attached every site is one null check.
+     */
+    void setTxObserver(obs::TxObserver *obs) { _txObs = obs; }
+
     std::uint64_t retiredOps() const
     {
         return static_cast<std::uint64_t>(_retired.value());
@@ -175,6 +184,8 @@ class Core : public Ticked
     {
         const MicroOp *mop = nullptr;
         std::uint64_t seq = 0;
+        /** Program-order transaction at dispatch (0 = outside). */
+        TxId txId = 0;
         std::int16_t physSrc0 = -1;
         std::int16_t physSrc1 = -1;
         std::int16_t physDst = -1;
@@ -190,6 +201,9 @@ class Core : public Ticked
         bool pcommitIssued = false;
         bool logSaveIssued = false;
         LogQueue::EntryId logQEntry = LogQueue::invalidEntry;
+        /** Cycle the log record was created (LogQ allocate), for the
+         *  flight recorder's creation-to-ack span. */
+        Tick logCreatedAt = 0;
     };
 
     /** A post-retirement store buffer entry. */
@@ -331,6 +345,11 @@ class Core : public Ticked
     bool _phaseOpen = false;
     Tick _phaseStart = 0;
     Tick _txStartTick = 0;
+    obs::TxObserver *_txObs = nullptr;
+    /** Bucket the last accounted tick landed in, replayed (with the
+     *  live _retireTxId) for skipped quiescent spans so per-tx slot
+     *  attribution is bit-identical with cycle skipping on or off. */
+    CommitBucket _lastSlotBucket = CommitBucket::Base;
     /// @}
 
     stats::Scalar _retired;

@@ -51,6 +51,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.traceEvents = next();
         } else if (arg == "--trace-categories") {
             opts.traceCategories = next();
+        } else if (arg == "--tx-stats") {
+            opts.txStats = next();
+        } else if (arg == "--tx-slowest") {
+            opts.txSlowest = std::stoull(next());
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "options:\n"
@@ -78,7 +82,11 @@ BenchOptions::parse(int argc, char **argv)
                 << "  --trace-events FILE Chrome Trace Event JSON "
                 << "(load in Perfetto)\n"
                 << "  --trace-categories LIST  comma list of "
-                << "cpu,memctrl,log,lock,all (default all)\n";
+                << "cpu,memctrl,log,lock,all (default all)\n"
+                << "  --tx-stats FILE     transaction flight-recorder "
+                << "summary (.json or .csv)\n"
+                << "  --tx-slowest K      retain full timelines for the "
+                << "K slowest transactions (default 8)\n";
             std::exit(0);
         } else {
             fatal("unknown argument: ", arg);
@@ -101,9 +109,33 @@ BenchOptions::makeConfig() const
     if (!traceEvents.empty())
         cfg.obs.traceCategories =
             TraceEventSink::parseCategories(traceCategories);
+    cfg.obs.txStats = txStats;
+    cfg.obs.txSlowest = txSlowest;
     for (const std::string &o : overrides)
         cfg.applyOverride(o);
     return cfg;
+}
+
+obs::TxStatsRow
+makeTxStatsRow(const BenchOptions &opts, LogScheme scheme,
+               WorkloadKind kind, const RunResult &result)
+{
+    obs::TxStatsRow row;
+    row.scheme = toString(scheme);
+    row.workload = toString(kind);
+    row.threads = opts.threads;
+    row.scale = opts.scale;
+    row.initScale = opts.initScale;
+    row.seed = opts.seed;
+    row.cycles = result.cycles;
+    // Bucket order mirrors obs::TxSlot (and CommitBucket).
+    row.cpi = {result.cpi.base,          result.cpi.robFull,
+               result.cpi.iqLsqFull,     result.cpi.branchRedirect,
+               result.cpi.persistStall,  result.cpi.wpqBackpressure,
+               result.cpi.lockWait};
+    if (result.txStats)
+        row.summary = *result.txStats;
+    return row;
 }
 
 RunResult
@@ -122,6 +154,7 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
     params.seed = opts.seed;
     params.logAreaBytes = cfg.logging.logAreaBytes;
 
+    RunResult result;
     if (opts.traceCache) {
         TraceBundleKey key;
         key.kind = kind;
@@ -129,10 +162,20 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
         key.params = params;
         key.llOpts = ll_opts;
         FullSystem system(cfg, TraceCache::global().get(key));
-        return system.run();
+        result = system.run();
+    } else {
+        FullSystem system(cfg, kind, params, ll_opts);
+        result = system.run();
     }
-    FullSystem system(cfg, kind, params, ll_opts);
-    return system.run();
+    // Single-run tx-stats file. Batches route through the parallel
+    // runner, which clears the per-job path and lets runBatch combine
+    // every row into one file in submission order.
+    if (!cfg.obs.txStats.empty() && result.txStats) {
+        obs::writeTxStatsFile(
+            cfg.obs.txStats,
+            {makeTxStatsRow(opts, scheme, kind, result)});
+    }
+    return result;
 }
 
 void

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tx_stats_io.hh"
 #include "system.hh"
 
 namespace proteus {
@@ -36,13 +37,16 @@ struct BenchOptions
     std::string statsOut;       ///< --stats-out FILE
     std::string traceEvents;    ///< --trace-events FILE
     std::string traceCategories = "all";    ///< --trace-categories spec
+    std::string txStats;        ///< --tx-stats FILE (flight recorder)
+    std::uint64_t txSlowest = 8;    ///< --tx-slowest K timelines
     /// @}
 
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
      *  --no-trace-cache, --no-cycle-skip,
      *  --stats-interval N, --stats-out FILE,
-     *  --trace-events FILE, and --trace-categories LIST.
+     *  --trace-events FILE, --trace-categories LIST,
+     *  --tx-stats FILE, and --tx-slowest K.
      *  Exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
@@ -50,10 +54,19 @@ struct BenchOptions
     SystemConfig makeConfig() const;
 };
 
-/** Run one (scheme, workload) pair to completion. */
+/** Run one (scheme, workload) pair to completion. When cfg.obs.txStats
+ *  names a file and the run produced a flight-recorder summary, the
+ *  single-run tx-stats file is written here; batches clear the per-job
+ *  path and combine rows instead (see ParallelRunner). */
 RunResult runExperiment(SystemConfig cfg, LogScheme scheme,
                         WorkloadKind kind, const BenchOptions &opts,
                         const LinkedListOptions &ll_opts = {});
+
+/** Bind a run's flight-recorder summary to its identity for
+ *  serialization (no-op row with a default summary if the recorder
+ *  did not run). */
+obs::TxStatsRow makeTxStatsRow(const BenchOptions &opts, LogScheme scheme,
+                               WorkloadKind kind, const RunResult &result);
 
 /** Geometric mean of @p values (which must be positive). */
 double geomean(const std::vector<double> &values);

@@ -162,6 +162,14 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
                 job.cfg.obs.traceEvents =
                     perJobPath(job.cfg.obs.traceEvents, i);
             }
+            if (!job.cfg.obs.txStats.empty()) {
+                // Keep the recorder on but suppress the per-run file:
+                // runBatch combines every job's summary into ONE file
+                // in submission order, so the bytes are identical at
+                // any --jobs level.
+                job.cfg.obs.txTrack = true;
+                job.cfg.obs.txStats.clear();
+            }
             results[i].result = runExperiment(job.cfg, job.scheme,
                                               job.kind, opts,
                                               job.llOpts);

@@ -96,6 +96,19 @@ FullSystem::wire()
             *_sim, _cfg.obs.statsInterval, _cfg.obs.statsOut);
         _sampler->start();
     }
+
+    // The transaction flight recorder observes every core and the MC.
+    // File output (when obs.txStats is set) is written by the caller
+    // (runExperiment / runBatch) so batches can combine rows into one
+    // deterministic file.
+    if (!_cfg.obs.txStats.empty() || _cfg.obs.txTrack) {
+        _txTracker = std::make_unique<obs::TxTracker>(
+            _sim->statsRegistry(), _cfg.cores,
+            static_cast<unsigned>(_cfg.obs.txSlowest));
+        _mc->setTxObserver(_txTracker.get());
+        for (auto &core : _cores)
+            core->setTxObserver(_txTracker.get());
+    }
 }
 
 FullSystem::~FullSystem()
@@ -117,6 +130,8 @@ FullSystem::finishObservability()
 {
     if (_sampler)
         _sampler->finish();
+    if (_txTracker)
+        _txTracker->finish();
     if (_traceSink) {
         for (auto &core : _cores)
             core->finalizeTrace();
@@ -169,6 +184,10 @@ FullSystem::run(Tick max_cycles)
     if (!ok)
         warn("FullSystem: simulation hit the cycle limit before the "
              "traces drained");
+    if (_txTracker) {
+        r.txStats = std::make_shared<obs::TxStatsSummary>(
+            _txTracker->summary());
+    }
     finishObservability();
     return r;
 }

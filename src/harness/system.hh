@@ -25,6 +25,7 @@
 #include "harness/trace_bundle.hh"
 #include "heap/persistent_heap.hh"
 #include "memctrl/mem_ctrl.hh"
+#include "obs/tx_tracker.hh"
 #include "sim/config.hh"
 #include "sim/interval_stats.hh"
 #include "sim/simulator.hh"
@@ -46,6 +47,9 @@ struct RunResult
     std::uint64_t logWritesDropped = 0;
     double lltMissRate = 0;     ///< aggregate over all cores
     CpiStack cpi;               ///< commit-slot cycles, summed over cores
+    /** Flight-recorder summary (null unless the tx recorder ran);
+     *  shared_ptr keeps RunResult cheap to copy through the runner. */
+    std::shared_ptr<obs::TxStatsSummary> txStats;
 };
 
 /** A fully wired simulated machine executing one workload. */
@@ -129,6 +133,8 @@ class FullSystem
     TraceEventSink *traceSink() { return _traceSink.get(); }
     /** Interval sampler (null unless obs.statsInterval > 0). */
     IntervalStatsSampler *sampler() { return _sampler.get(); }
+    /** Transaction flight recorder (null unless obs.txStats/txTrack). */
+    obs::TxTracker *txTracker() { return _txTracker.get(); }
 
     /** Flush observability outputs (idempotent; run() also does this). */
     void finishObservability();
@@ -149,6 +155,7 @@ class FullSystem
     std::unique_ptr<Simulator> _sim;
     std::unique_ptr<TraceEventSink> _traceSink;
     std::unique_ptr<IntervalStatsSampler> _sampler;
+    std::unique_ptr<obs::TxTracker> _txTracker;
     std::unique_ptr<MemCtrl> _mc;
     std::unique_ptr<CacheHierarchy> _caches;
     std::unique_ptr<LockManager> _locks;

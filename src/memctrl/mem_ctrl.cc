@@ -149,6 +149,8 @@ MemCtrl::write(const WriteRequest &req)
     }
 
     if (req.kind == WriteKind::Log && _useLpq) {
+        if (_txObs)
+            _txObs->mcQueued(req.core, req.txId, true, _sim.now());
         _lpq.push_back(std::move(qw));
         return;
     }
@@ -176,6 +178,10 @@ MemCtrl::write(const WriteRequest &req)
     }
     if (req.kind == WriteKind::AtomLog)
         ++_atomLogsQueued;
+    // Combined writes above are absorbed into an existing entry, so
+    // only a genuinely new WPQ entry counts as queued.
+    if (_txObs)
+        _txObs->mcQueued(req.core, req.txId, false, _sim.now());
     _wpq.push_back(std::move(qw));
 }
 
@@ -249,17 +255,21 @@ MemCtrl::txEnd(CoreId core, TxId tx)
         _lpq[latest].marker = true;
 
         if (_logWriteRemoval) {
+            std::uint64_t dropped = 0;
             std::deque<QueuedWrite> kept;
             for (std::size_t i = 0; i < _lpq.size(); ++i) {
                 const QueuedWrite &w = _lpq[i];
                 if (i != latest && w.req.core == core &&
                     w.req.txId == tx && !w.marker) {
                     ++_logWritesDropped;
+                    ++dropped;
                 } else {
                     kept.push_back(_lpq[i]);
                 }
             }
             _lpq.swap(kept);
+            if (_txObs && dropped)
+                _txObs->mcDropped(core, tx, dropped, _sim.now());
         }
         return;
     }
@@ -563,6 +573,15 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
     const Addr addr = w.req.addr;
     const std::uint64_t seq = w.seq;
     const bool is_log_queue = (&queue == &_lpq);
+    const CoreId req_core = w.req.core;
+    const TxId req_tx = w.req.txId;
+    const bool is_marker = w.marker;
+    // Markers are synthesized at tx-end with no meaningful acceptance
+    // time, so they stay invisible to the flight recorder.
+    if (_txObs && !is_marker) {
+        _txObs->mcIssued(req_core, req_tx, is_log_queue, w.acceptedAt,
+                         now);
+    }
     if (!is_log_queue && w.req.kind == WriteKind::AtomLog)
         --_atomLogsQueued;
     if (is_log_queue) {
@@ -578,7 +597,8 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
 
     const Tick done = _dram.issue(addr, true, now);
-    _sim.events().schedule(done, [this, addr, seq, is_log_queue]() {
+    _sim.events().schedule(done, [this, addr, seq, is_log_queue,
+                                  req_core, req_tx, is_marker]() {
         auto dit = _inflightData.find(seq);
         if (dit == _inflightData.end())
             panic("MemCtrl: completed write lost its in-flight data");
@@ -592,6 +612,10 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
             --_inflightLogs;
         else
             --_inflightWrites;
+        if (_txObs && !is_marker) {
+            _txObs->nvmPersisted(req_core, req_tx, is_log_queue,
+                                 _sim.now());
+        }
     });
 }
 

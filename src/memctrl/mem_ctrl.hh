@@ -28,6 +28,7 @@
 #include "dram/nvm_timing.hh"
 #include "heap/memory_image.hh"
 #include "logging/log_record.hh"
+#include "obs/tx_observer.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -159,6 +160,14 @@ class MemCtrl : public Ticked
     }
 
     bool empty() const;
+
+    /**
+     * Attach a transaction flight-recorder observer (nullptr detaches).
+     * Hooks fire on queue acceptance, NVM issue/persist, and tx-end
+     * flash-clears; synthesized tx-end markers are excluded (their
+     * acceptedAt is meaningless and they carry no payload write).
+     */
+    void setTxObserver(obs::TxObserver *obs) { _txObs = obs; }
 
     NvmTiming &dram() { return _dram; }
 
@@ -328,6 +337,8 @@ class MemCtrl : public Ticked
     double _preWriteAttempts = 0;
     double _preWriteNoCandidate = 0;
     /// @}
+
+    obs::TxObserver *_txObs = nullptr;
 
     /// @name Trace-event output (memctrl category)
     /// @{

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A minimal DOM JSON parser, just enough for the proteus-txstats tool
+ * to read back the files writeTxStatsJson produces (and any other
+ * machine output of this repo). No external dependencies; strict
+ * enough for well-formed input, with position-annotated fatal errors
+ * on malformed text.
+ */
+
+#ifndef PROTEUS_OBS_JSON_READER_HH
+#define PROTEUS_OBS_JSON_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+namespace obs {
+
+/** One parsed JSON value; a tagged union over the six JSON types. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Key order preserved as written. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Member lookup that panics when @p key is missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** number as u64 (panics unless a Number). */
+    std::uint64_t asU64() const;
+    /** number (panics unless a Number). */
+    double asNumber() const;
+    /** str (panics unless a String). */
+    const std::string &asString() const;
+};
+
+/** Parse @p text; throws FatalError on malformed JSON. */
+JsonValue parseJson(const std::string &text);
+
+/** Read and parse @p path; throws FatalError on I/O or parse errors. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace obs
+} // namespace proteus
+
+#endif // PROTEUS_OBS_JSON_READER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The transaction flight-recorder hook interface.
+ *
+ * Core and MemCtrl hold a nullable TxObserver pointer (the same
+ * pattern as crashtest's TraceWriteObserver on TraceBuilder) and
+ * invoke it at every transaction lifecycle boundary: tx begin, lock
+ * request/grant, log-record creation/filtering/ack, memory-controller
+ * queue entry/issue/drop, NVM persist, per-cycle commit-slot
+ * attribution, and durable commit (or rollback). With no observer
+ * attached every hook site is a single null-check, so the recorder is
+ * near-zero cost when disabled.
+ *
+ * All timestamps are simulation cycles taken at the instrumented
+ * event, never at aggregation time, so recorded values are
+ * bit-identical with quiescence cycle skipping on or off: hooks fire
+ * only on executed ticks, and the one per-cycle hook (commitSlot) is
+ * replayed for skipped spans exactly like the core's per-cycle
+ * scalars.
+ */
+
+#ifndef PROTEUS_OBS_TX_OBSERVER_HH
+#define PROTEUS_OBS_TX_OBSERVER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace proteus {
+namespace obs {
+
+/**
+ * The commit-slot bucket a cycle was attributed to, mirroring the
+ * core's CPI stack (src/cpu/core.hh) without depending on it: obs is
+ * below cpu in the link order, so the enum is duplicated here and the
+ * core maps its CommitBucket into it.
+ */
+enum class TxSlot : unsigned char
+{
+    Base,
+    RobFull,
+    IqLsqFull,
+    BranchRedirect,
+    PersistStall,
+    WpqBackpressure,
+    LockWait,
+};
+
+constexpr unsigned numTxSlots = 7;
+
+/** @return a short printable slot name, e.g. "persistStall". */
+const char *toString(TxSlot slot);
+
+/** A run-unique flow id for (core, tx), shared with the trace sink so
+ *  core-side and MC-side flow events join into one arrow chain. */
+inline std::uint64_t
+txFlowId(CoreId core, TxId tx)
+{
+    return (static_cast<std::uint64_t>(core) << 48) | tx;
+}
+
+/** Lifecycle hooks; default implementations ignore everything. */
+class TxObserver
+{
+  public:
+    virtual ~TxObserver() = default;
+
+    /// @name Transaction boundaries (core retirement)
+    /// @{
+    virtual void txBegin(CoreId, TxId, Tick) {}
+    virtual void txCommit(CoreId, TxId, Tick) {}
+    virtual void txRollback(CoreId, TxId, Tick) {}
+    /// @}
+
+    /// @name Lock manager
+    /// @{
+    virtual void lockRequested(CoreId, TxId, Addr, Tick) {}
+    virtual void lockGranted(CoreId, TxId, Addr, Tick) {}
+    /// @}
+
+    /// @name Log-record lifecycle (LogQueue / ATOM MC-side logs)
+    /// @{
+    /** A log record was created (LogQ allocate / ATOM log start). */
+    virtual void logCreated(CoreId, TxId, Tick) {}
+    /** An LLT hit elided the record entirely. */
+    virtual void logFiltered(CoreId, TxId, Tick) {}
+    /** The record became durable; @p createdAt is its creation tick. */
+    virtual void logAcked(CoreId, TxId, Tick /*createdAt*/, Tick) {}
+    /// @}
+
+    /**
+     * Per-cycle commit-slot attribution: @p n cycles (n > 1 when the
+     * kernel replays a skipped quiescent span) landed in @p slot while
+     * @p tx was live at retirement (tx == 0: outside any transaction).
+     */
+    virtual void commitSlot(CoreId, TxId, TxSlot, std::uint64_t /*n*/) {}
+
+    /// @name Memory controller
+    /// @{
+    /** A write entered the WPQ (@p lpq false) or LPQ (@p lpq true). */
+    virtual void mcQueued(CoreId, TxId, bool /*lpq*/, Tick) {}
+    /** A queued write was issued to the NVM array. */
+    virtual void mcIssued(CoreId, TxId, bool /*lpq*/, Tick /*acceptedAt*/,
+                          Tick) {}
+    /** @p n LPQ entries were flash-cleared at tx end (log write
+     *  removal) and will never reach the array. */
+    virtual void mcDropped(CoreId, TxId, std::uint64_t /*n*/, Tick) {}
+    /** A write's data reached the NVM array. */
+    virtual void nvmPersisted(CoreId, TxId, bool /*lpq*/, Tick) {}
+    /// @}
+};
+
+} // namespace obs
+} // namespace proteus
+
+#endif // PROTEUS_OBS_TX_OBSERVER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Serialization of transaction flight-recorder summaries.
+ *
+ * One TxStatsRow binds a run's identity (scheme, workload, run
+ * parameters), its aggregate CPI stack (for the slotTotal cross-check)
+ * and the TxStatsSummary itself. Rows are written as {"version": 1,
+ * "rows": [...]} JSON or as a flat CSV of per-stage statistics.
+ *
+ * The JSON writer is byte-deterministic: identical summaries always
+ * produce identical bytes (integral doubles print as integers, the
+ * rest with round-trip precision), which is what lets the tests assert
+ * bit-identical output across --jobs counts and cycle-skip modes. The
+ * serialized qhist per stage is the distribution's full HDR percentile
+ * state, so proteus-txstats can reconstruct and merge distributions
+ * across rows without losing percentile accuracy.
+ */
+
+#ifndef PROTEUS_OBS_TX_STATS_IO_HH
+#define PROTEUS_OBS_TX_STATS_IO_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tx_tracker.hh"
+
+namespace proteus {
+namespace obs {
+
+/** One run's flight-recorder output plus identifying metadata. */
+struct TxStatsRow
+{
+    std::string scheme;
+    std::string workload;
+    unsigned threads = 0;
+    unsigned scale = 0;
+    unsigned initScale = 0;
+    std::uint64_t seed = 0;
+    Tick cycles = 0;
+    /** Aggregate CPI-stack cycles per bucket (summed over cores); must
+     *  equal summary.slotTotal bucket-for-bucket when the recorder saw
+     *  the whole run. */
+    std::array<std::uint64_t, numTxSlots> cpi{};
+    TxStatsSummary summary;
+};
+
+/** Write @p rows as {"version": 1, "rows": [...]} JSON. */
+void writeTxStatsJson(std::ostream &os,
+                      const std::vector<TxStatsRow> &rows);
+
+/** Write per-stage statistics as CSV (one line per row x stage). */
+void writeTxStatsCsv(std::ostream &os,
+                     const std::vector<TxStatsRow> &rows);
+
+/** Write @p path, dispatching on extension (".csv" = CSV, else JSON).
+ *  Throws FatalError if the file cannot be written. */
+void writeTxStatsFile(const std::string &path,
+                      const std::vector<TxStatsRow> &rows);
+
+} // namespace obs
+} // namespace proteus
+
+#endif // PROTEUS_OBS_TX_STATS_IO_HH

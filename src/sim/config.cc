@@ -127,6 +127,8 @@ SystemConfig::applyOverride(const std::string &spec)
         logging.atomTruncationEntries = static_cast<unsigned>(as_u64());
     else if (key == "obs.traceRingEntries")
         obs.traceRingEntries = as_u64();
+    else if (key == "obs.txSlowest")
+        obs.txSlowest = as_u64();
     else if (key == "cycleSkip") cycleSkip = as_bool();
     else
         fatal("unknown config override key: ", key);

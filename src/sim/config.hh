@@ -159,6 +159,15 @@ struct ObservabilityConfig
     unsigned traceCategories = 0xf; ///< TraceCategory mask
     /** Trace ring-buffer capacity in events (oldest dropped beyond). */
     std::uint64_t traceRingEntries = 1ull << 18;
+    /** Transaction flight-recorder output file ("" = recorder off
+     *  unless txTrack forces it on). */
+    std::string txStats;
+    /** Run the flight recorder without writing a file (the parallel
+     *  runner enables this and collects summaries in memory so a batch
+     *  writes one combined file in submission order). */
+    bool txTrack = false;
+    /** Full event timelines retained for the K slowest transactions. */
+    std::uint64_t txSlowest = 8;
 };
 
 /** Top-level system description. */

@@ -1,5 +1,7 @@
 #include "stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 #include "json_util.hh"
@@ -48,28 +50,102 @@ Distribution::Distribution(StatRegistry &registry, std::string name,
         panic("Distribution ", this->name(), ": bad bucket range");
 }
 
+double
+Distribution::quantizeKey(double v)
+{
+    double a = std::fabs(v);
+    if (a < percentileExactMax)
+        return v;
+    int exp = 0;
+    double mant = std::frexp(a, &exp);           // mant in [0.5, 1)
+    double q = std::ldexp(std::floor(std::ldexp(mant, 12)), exp - 12);
+    return v < 0 ? -q : q;
+}
+
 void
 Distribution::sample(double v)
 {
+    sample(v, 1);
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
     if (_count == 0) {
         _minSeen = _maxSeen = v;
     } else {
         if (v < _minSeen) _minSeen = v;
         if (v > _maxSeen) _maxSeen = v;
     }
-    ++_count;
-    _sum += v;
+    _count += n;
+    _sum += v * static_cast<double>(n);
+    _quantized[quantizeKey(v)] += n;
 
     if (v < _lo) {
-        ++_underflow;
+        _underflow += n;
     } else if (v >= _hi) {
-        ++_overflow;
+        _overflow += n;
     } else {
         auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
         if (idx >= _buckets.size())
             idx = _buckets.size() - 1;
-        ++_buckets[idx];
+        _buckets[idx] += n;
     }
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0;
+    if (p <= 0)
+        return _minSeen;
+    if (p >= 100)
+        return _maxSeen;
+    // Nearest rank: the smallest value whose cumulative count reaches
+    // ceil(p/100 * count).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(_count)));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (const auto &[key, cnt] : _quantized) {
+        cum += cnt;
+        if (cum >= rank) {
+            // The topmost rank is the maximum, which we track exactly.
+            return rank == _count ? _maxSeen : key;
+        }
+    }
+    return _maxSeen;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other._lo != _lo || other._hi != _hi ||
+        other._buckets.size() != _buckets.size()) {
+        panic("Distribution::merge ", name(), ": bucket configuration "
+              "mismatch with ", other.name());
+    }
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        _minSeen = other._minSeen;
+        _maxSeen = other._maxSeen;
+    } else {
+        _minSeen = std::min(_minSeen, other._minSeen);
+        _maxSeen = std::max(_maxSeen, other._maxSeen);
+    }
+    _count += other._count;
+    _sum += other._sum;
+    _underflow += other._underflow;
+    _overflow += other._overflow;
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    for (const auto &[key, cnt] : other._quantized)
+        _quantized[key] += cnt;
 }
 
 double
@@ -84,6 +160,7 @@ Distribution::reset()
     std::fill(_buckets.begin(), _buckets.end(), 0);
     _underflow = _overflow = _count = 0;
     _sum = _minSeen = _maxSeen = 0;
+    _quantized.clear();
 }
 
 void
@@ -100,6 +177,12 @@ Distribution::dumpJsonValue(std::ostream &os) const
     json::writeNumber(os, _lo);
     os << ", \"hi\": ";
     json::writeNumber(os, _hi);
+    os << ", \"p50\": ";
+    json::writeNumber(os, percentile(50));
+    os << ", \"p95\": ";
+    json::writeNumber(os, percentile(95));
+    os << ", \"p99\": ";
+    json::writeNumber(os, percentile(99));
     os << ", \"underflow\": " << _underflow
        << ", \"overflow\": " << _overflow << ", \"buckets\": [";
     for (std::size_t i = 0; i < _buckets.size(); ++i)

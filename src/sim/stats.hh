@@ -105,6 +105,13 @@ class Average : public StatBase
 /**
  * A histogram over a fixed linear bucket range; samples outside the range
  * land in underflow/overflow buckets.
+ *
+ * Alongside the fixed linear buckets, every sample is also recorded in
+ * an HDR-style value->count map: values with magnitude below
+ * percentileExactMax are kept exactly; larger magnitudes are quantized
+ * to 12 mantissa bits (relative error < 2^-12), so memory stays bounded
+ * for arbitrarily long runs while percentile() remains exact over the
+ * exact range and within 0.025% beyond it. max()/min() are always exact.
  */
 class Distribution : public StatBase
 {
@@ -113,14 +120,42 @@ class Distribution : public StatBase
                  double min, double max, unsigned buckets);
 
     void sample(double v);
+    /** Record @p v as @p n identical samples. */
+    void sample(double v, std::uint64_t n);
 
     double value() const override;   ///< mean of all samples
+    double sum() const { return _sum; }
     double min() const { return _minSeen; }
     double max() const { return _maxSeen; }
     std::uint64_t count() const { return _count; }
+    /** The HDR-style quantized value->count map behind percentile(). */
+    const std::map<double, std::uint64_t> &quantized() const
+    {
+        return _quantized;
+    }
     std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /**
+     * Nearest-rank percentile, @p p in [0, 100]. Exact for values below
+     * percentileExactMax; within bounded relative error (2^-12) above.
+     * Returns 0 with no samples; p=0 returns min(), p=100 returns max().
+     */
+    double percentile(double p) const;
+
+    /**
+     * Fold another distribution's samples into this one. Requires an
+     * identical bucket configuration (lo/hi/bucket count); panics
+     * otherwise. Percentile state merges exactly.
+     */
+    void merge(const Distribution &other);
+
+    /** Magnitude bound below which percentile state is exact. */
+    static constexpr double percentileExactMax = 8192.0;
+    /** Quantization key for the percentile map (exposed for tests). */
+    static double quantizeKey(double v);
+
     void reset() override;
     void dump(std::ostream &os) const override;
     void dumpJsonValue(std::ostream &os) const override;
@@ -136,6 +171,7 @@ class Distribution : public StatBase
     double _sum = 0;
     double _minSeen = 0;
     double _maxSeen = 0;
+    std::map<double, std::uint64_t> _quantized;
 };
 
 /** A stat computed from other stats at dump/lookup time. */

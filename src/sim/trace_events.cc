@@ -85,6 +85,43 @@ TraceEventSink::counter(unsigned cat, std::uint32_t track,
     push(std::move(e));
 }
 
+void
+TraceEventSink::flow(unsigned cat, std::uint32_t track, std::string &&name,
+                     Tick ts, std::uint64_t id, char phase)
+{
+    if (!wants(cat))
+        return;
+    Event e;
+    e.phase = phase;
+    e.cat = cat;
+    e.track = track;
+    e.name = std::move(name);
+    e.ts = ts;
+    e.id = id;
+    push(std::move(e));
+}
+
+void
+TraceEventSink::flowStart(unsigned cat, std::uint32_t track,
+                          std::string name, Tick ts, std::uint64_t id)
+{
+    flow(cat, track, std::move(name), ts, id, 's');
+}
+
+void
+TraceEventSink::flowStep(unsigned cat, std::uint32_t track,
+                         std::string name, Tick ts, std::uint64_t id)
+{
+    flow(cat, track, std::move(name), ts, id, 't');
+}
+
+void
+TraceEventSink::flowFinish(unsigned cat, std::uint32_t track,
+                           std::string name, Tick ts, std::uint64_t id)
+{
+    flow(cat, track, std::move(name), ts, id, 'f');
+}
+
 std::size_t
 TraceEventSink::size() const
 {
@@ -147,7 +184,8 @@ TraceEventSink::write(std::ostream &os) const
                          return a->ts < b->ts;
                      });
 
-    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+    os << "{\"displayTimeUnit\": \"ns\", \"droppedEvents\": " << _dropped
+       << ", \"traceEvents\": [\n";
     bool first = true;
     auto sep = [&]() {
         if (!first)
@@ -159,6 +197,16 @@ TraceEventSink::write(std::ostream &os) const
     os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
        << "\"name\": \"process_name\", "
        << "\"args\": {\"name\": \"proteus-sim\"}}";
+    if (_dropped > 0 && !events.empty()) {
+        // Make the wrap visible in the viewer: a counter pinned at the
+        // earliest retained timestamp records how many older events the
+        // bounded ring overwrote.
+        sep();
+        os << "{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": "
+           << events.front()->ts
+           << ", \"cat\": \"other\", \"name\": \"droppedEvents\", "
+           << "\"args\": {\"value\": " << _dropped << "}}";
+    }
     for (std::size_t i = 0; i < _tracks.size(); ++i) {
         sep();
         os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << (i + 1)
@@ -176,7 +224,11 @@ TraceEventSink::write(std::ostream &os) const
             os << ", \"dur\": " << e->dur;
         else if (e->phase == 'i')
             os << ", \"s\": \"t\"";
-        else if (e->phase == 'C') {
+        else if (e->phase == 's' || e->phase == 't' || e->phase == 'f') {
+            os << ", \"id\": " << e->id;
+            if (e->phase == 'f')
+                os << ", \"bp\": \"e\"";
+        } else if (e->phase == 'C') {
             os << ", \"args\": {\"value\": ";
             json::writeNumber(os, e->value);
             os << "}";

@@ -3,13 +3,21 @@
  * Chrome Trace Event Format sink (loadable in Perfetto and
  * chrome://tracing).
  *
- * Components emit duration ("X"), instant ("i"), and counter ("C")
- * events onto named tracks; the sink buffers them in a bounded ring
- * (oldest events are overwritten when the run outlives the buffer, with
- * a dropped-event count) and serializes everything as
- * {"traceEvents": [...]} JSON at flush time. Event timestamps are
- * simulated CPU cycles written into the format's microsecond field, so
- * one trace "us" equals one cycle.
+ * Components emit duration ("X"), instant ("i"), counter ("C"), and
+ * flow ("s"/"t"/"f") events onto named tracks; the sink buffers them in
+ * a bounded ring and serializes everything as {"traceEvents": [...]}
+ * JSON at flush time. Event timestamps are simulated CPU cycles written
+ * into the format's microsecond field, so one trace "us" equals one
+ * cycle.
+ *
+ * Ring-wrap policy (bounded memory for long runs): once the ring is
+ * full the *oldest* events are overwritten so the tail of the run is
+ * always retained, and every overwrite increments a drop counter. The
+ * count is never silent — it is embedded in the output itself as a
+ * top-level "droppedEvents" field plus a "droppedEvents" counter event
+ * at the earliest retained timestamp, and flush() warns on stderr.
+ * Raise obs.traceRingEntries (--set obs.traceRingEntries=N) or narrow
+ * --trace-categories to retain more.
  *
  * Emission is gated twice so disabled tracing stays off the hot path:
  * callers hold a TraceEventSink pointer that is null when tracing is
@@ -70,6 +78,19 @@ class TraceEventSink
     void counter(unsigned cat, std::uint32_t track, std::string name,
                  Tick ts, double value);
 
+    /**
+     * Flow arrows: a flow @p id links a start ("s") through any number
+     * of steps ("t") to a finish ("f") across tracks; viewers draw
+     * arrows between the enclosing slices. Used to connect a
+     * transaction's begin, memory-controller activity, and commit.
+     */
+    void flowStart(unsigned cat, std::uint32_t track, std::string name,
+                   Tick ts, std::uint64_t id);
+    void flowStep(unsigned cat, std::uint32_t track, std::string name,
+                  Tick ts, std::uint64_t id);
+    void flowFinish(unsigned cat, std::uint32_t track, std::string name,
+                    Tick ts, std::uint64_t id);
+
     /** Buffered event count (at most the ring capacity). */
     std::size_t size() const;
     /** Events overwritten because the ring was full. */
@@ -96,11 +117,15 @@ class TraceEventSink
         Tick ts = 0;
         Tick dur = 0;
         double value = 0;
+        std::uint64_t id = 0;       ///< flow id for 's'/'t'/'f' phases
         std::string name;
         std::uint32_t track = 0;
         unsigned cat = 0;
         char phase = 'i';
     };
+
+    void flow(unsigned cat, std::uint32_t track, std::string &&name,
+              Tick ts, std::uint64_t id, char phase);
 
     void push(Event &&e);
 

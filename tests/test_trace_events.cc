@@ -110,13 +110,18 @@ TEST(TraceEventSink, RingBoundsEventCountAndCountsDrops)
     EXPECT_EQ(sink.size(), 4u);
     EXPECT_EQ(sink.dropped(), 6u);
 
-    // The survivors are the newest events, still in cycle order.
+    // The survivors are the newest events, still in cycle order, and
+    // the wrap is advertised: a top-level droppedEvents field plus a
+    // counter event pinned at the earliest retained timestamp.
     std::ostringstream os;
     sink.write(os);
     EXPECT_TRUE(testjson::isValidJson(os.str())) << os.str();
+    EXPECT_NE(os.str().find("\"droppedEvents\": 6"),
+              std::string::npos);
     const auto tracks = perTrackTimestamps(os.str());
-    ASSERT_EQ(tracks.size(), 1u);
-    EXPECT_EQ(tracks.begin()->second,
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_EQ(tracks.at(0), (std::vector<std::int64_t>{6}));
+    EXPECT_EQ(tracks.at(1),
               (std::vector<std::int64_t>{6, 7, 8, 9}));
 }
 

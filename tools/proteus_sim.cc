@@ -65,7 +65,11 @@ usage()
         << "Perfetto (ui.perfetto.dev)\n"
         << "  --trace-categories LIST\n"
         << "                     comma list of cpu,memctrl,log,lock,all"
-        << " (default all)\n\n"
+        << " (default all)\n"
+        << "  --tx-stats FILE    transaction flight-recorder summary "
+        << "(.json or .csv; see proteus-txstats)\n"
+        << "  --tx-slowest K     retain full timelines for the K "
+        << "slowest transactions (default 8)\n\n"
         << "options (matrix):\n"
         << "  --jobs N           host worker threads (0 = all cores)\n"
         << "  --json FILE        write per-run result rows as JSON\n";
@@ -170,6 +174,11 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
     std::cout << "kernel steps:       " << system.sim().kernelSteps()
               << " (" << system.sim().skippedCycles()
               << " cycles skipped)\n";
+    if (!cfg.obs.txStats.empty() && r.txStats) {
+        obs::writeTxStatsFile(
+            cfg.obs.txStats,
+            {makeTxStatsRow(opts, extras.scheme, kind, r)});
+    }
 
     const std::string err = system.workload().checkInvariants(
         system.heap().volatileImage());
@@ -201,6 +210,11 @@ cmdReplay(const std::string &path, const CliExtras &extras,
     std::cout << "kernel steps:       " << system.sim().kernelSteps()
               << " (" << system.sim().skippedCycles()
               << " cycles skipped)\n";
+    if (!cfg.obs.txStats.empty() && r.txStats) {
+        obs::writeTxStatsFile(cfg.obs.txStats,
+                              {makeTxStatsRow(opts, bundle->key.scheme,
+                                              bundle->key.kind, r)});
+    }
     // No workload object travels with a snapshot, so structural
     // invariants cannot be checked here — proteus-trace verify covers
     // the file's integrity instead.
@@ -241,6 +255,7 @@ cmdMatrix(const BenchOptions &opts)
     table.printHeader(std::cout);
 
     std::vector<JsonResultRow> rows;
+    std::vector<obs::TxStatsRow> tx_rows;
     std::size_t i = 0;
     bool all_finished = true;
     for (LogScheme s : schemes) {
@@ -251,11 +266,15 @@ cmdMatrix(const BenchOptions &opts)
             all_finished = all_finished && r.result.finished;
             rows.push_back(JsonResultRow{toString(s), toString(w),
                                          r.result, r.wallMs});
+            if (!opts.txStats.empty())
+                tx_rows.push_back(makeTxStatsRow(opts, s, w, r.result));
         }
         table.printRow(std::cout, cells);
     }
     if (!opts.jsonPath.empty())
         writeJsonResults(opts.jsonPath, rows);
+    if (!opts.txStats.empty())
+        obs::writeTxStatsFile(opts.txStats, tx_rows);
     return all_finished ? 0 : 1;
 }
 
