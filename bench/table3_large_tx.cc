@@ -31,11 +31,11 @@ main(int argc, char **argv)
 
     std::vector<SimJob> jobs;
     for (unsigned elements : sizes) {
-        LinkedListOptions ll;
-        ll.elementsPerNode = elements;
+        WorkloadExtras extras;
+        extras.ll.elementsPerNode = elements;
         for (LogScheme s : schemes) {
             jobs.push_back(SimJob{opts.makeConfig(), s,
-                                  WorkloadKind::LinkedList, ll,
+                                  WorkloadKind::LinkedList, extras,
                                   "elements=" +
                                       std::to_string(elements) + " " +
                                       toString(s)});

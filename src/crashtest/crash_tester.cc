@@ -153,6 +153,8 @@ replayCommand(const CrashTestOptions &opts, const CrashPairResult &pair)
        << " --workloads " << toString(pair.workload) << " --seed "
        << opts.seed << " --threads " << opts.threads << " --scale "
        << opts.scale << " --init-scale " << opts.initScale;
+    if (pair.workload == WorkloadKind::Generated)
+        os << " --wl-spec " << opts.gen.canonical();
     switch (opts.mode) {
       case CrashMode::Stride:
         os << " --crash-stride "
@@ -221,7 +223,8 @@ checkCrashPoint(const CrashTestOptions &opts, FullSystem &sys,
     if (opts.threads == 1 && scheme != LogScheme::PMEMNoLog &&
         opts.checkSerialization) {
         PersistentHeap replay_heap;
-        auto replay = makeWorkload(kind, replay_heap, scheme, params);
+        auto replay = makeWorkload(kind, replay_heap, scheme, params,
+                                   WorkloadExtras{{}, opts.gen});
         replay->setup();
         replay->replayOps(row.replayed);
         const std::string recovered = sys.workload().serialize(image);
@@ -319,6 +322,7 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
         key.kind = kind;
         key.scheme = scheme;
         key.params = params;
+        key.gen = opts.gen;
         bundle = TraceCache::global().get(key, /*want_history=*/true);
         bundle->history->replayTo(oracle);
     }
@@ -330,7 +334,8 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
         if (bundle)
             reference = std::make_unique<FullSystem>(cfg, bundle);
         else
-            reference = std::make_unique<FullSystem>(cfg, kind, params);
+            reference = std::make_unique<FullSystem>(
+                cfg, kind, params, WorkloadExtras{{}, opts.gen});
         const RunResult full = reference->run(runCycleLimit);
         if (!full.finished)
             fatal("crashtest: reference run hit the cycle limit");
@@ -345,7 +350,8 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
         sys_holder = std::make_unique<FullSystem>(cfg, bundle);
     else
         sys_holder =
-            std::make_unique<FullSystem>(cfg, kind, params, LinkedListOptions{},
+            std::make_unique<FullSystem>(cfg, kind, params,
+                                         WorkloadExtras{{}, opts.gen},
                                          &oracle);
     FullSystem &sys = *sys_holder;
     pair.totalTxs = oracle.txCount();
@@ -382,6 +388,12 @@ writeJson(const std::string &path, const CrashTestOptions &opts,
     os << "  \"threads\": " << opts.threads << ",\n";
     os << "  \"scale\": " << opts.scale << ",\n";
     os << "  \"initScale\": " << opts.initScale << ",\n";
+    const bool any_gen = std::any_of(
+        opts.workloads.begin(), opts.workloads.end(),
+        [](WorkloadKind k) { return k == WorkloadKind::Generated; });
+    if (any_gen)
+        os << "  \"wlSpec\": " << json::quoted(opts.gen.canonical())
+           << ",\n";
     os << "  \"crashPoints\": " << summary.crashPoints << ",\n";
     os << "  \"violations\": " << summary.violations << ",\n";
     os << "  \"ok\": " << (summary.ok ? "true" : "false") << ",\n";

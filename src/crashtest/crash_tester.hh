@@ -50,6 +50,8 @@ struct CrashTestOptions
     unsigned threads = 1;
     unsigned scale = 250;
     unsigned initScale = 100;
+    /** Spec for WorkloadKind::Generated entries in `workloads`. */
+    wlgen::GenSpec gen;
     /** Workload seed and fuzz base seed; echoed in every report. */
     std::uint64_t seed = 11;
     CrashMode mode = CrashMode::Stride;

@@ -55,6 +55,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.txStats = next();
         } else if (arg == "--tx-slowest") {
             opts.txSlowest = std::stoull(next());
+        } else if (arg == "--wl-spec") {
+            opts.wlSpec = next();
+        } else if (arg == "--wl-spec-file") {
+            opts.wlSpecFile = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "options:\n"
@@ -86,13 +90,39 @@ BenchOptions::parse(int argc, char **argv)
                 << "  --tx-stats FILE     transaction flight-recorder "
                 << "summary (.json or .csv)\n"
                 << "  --tx-slowest K      retain full timelines for the "
-                << "K slowest transactions (default 8)\n";
+                << "K slowest transactions (default 8)\n"
+                << "  --wl-spec k=v,...   generated-workload spec "
+                << "(see proteus-sim --list-workloads)\n"
+                << "  --wl-spec-file FILE base spec file; --wl-spec "
+                << "overrides on top\n";
             std::exit(0);
         } else {
             fatal("unknown argument: ", arg);
         }
     }
+    // Catch nonsense at the CLI boundary: a zero divisor or an
+    // impossible thread count would otherwise surface as a confusing
+    // failure deep inside workload construction.
+    if (opts.scale == 0)
+        fatal("--scale must be >= 1");
+    if (opts.initScale == 0)
+        fatal("--init-scale must be >= 1");
+    if (opts.threads == 0 || opts.threads > 32)
+        fatal("--threads must be in [1, 32] (got ", opts.threads, ")");
+    if (!opts.wlSpec.empty() || !opts.wlSpecFile.empty())
+        opts.genSpec();     // validate eagerly, fail fast
     return opts;
+}
+
+wlgen::GenSpec
+BenchOptions::genSpec() const
+{
+    wlgen::GenSpec spec;
+    if (!wlSpecFile.empty())
+        spec = wlgen::GenSpec::parseFile(wlSpecFile);
+    if (!wlSpec.empty())
+        spec = wlgen::GenSpec::parse(wlSpec, spec);
+    return spec;
 }
 
 SystemConfig
@@ -141,7 +171,7 @@ makeTxStatsRow(const BenchOptions &opts, LogScheme scheme,
 RunResult
 runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
               const BenchOptions &opts,
-              const LinkedListOptions &ll_opts)
+              const WorkloadExtras &extras)
 {
     cfg.logging.scheme = scheme;
     // PMEM+pcommit models the pre-ADR persistency domain.
@@ -160,11 +190,12 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
         key.kind = kind;
         key.scheme = scheme;
         key.params = params;
-        key.llOpts = ll_opts;
+        key.llOpts = extras.ll;
+        key.gen = extras.gen;
         FullSystem system(cfg, TraceCache::global().get(key));
         result = system.run();
     } else {
-        FullSystem system(cfg, kind, params, ll_opts);
+        FullSystem system(cfg, kind, params, extras);
         result = system.run();
     }
     // Single-run tx-stats file. Batches route through the parallel

@@ -41,17 +41,29 @@ struct BenchOptions
     std::uint64_t txSlowest = 8;    ///< --tx-slowest K timelines
     /// @}
 
+    /// @name Generated workload (WorkloadKind::Generated)
+    /// @{
+    std::string wlSpec;         ///< --wl-spec k=v,... (inline spec)
+    std::string wlSpecFile;     ///< --wl-spec-file FILE (base spec)
+    /// @}
+
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
      *  --no-trace-cache, --no-cycle-skip,
      *  --stats-interval N, --stats-out FILE,
      *  --trace-events FILE, --trace-categories LIST,
-     *  --tx-stats FILE, and --tx-slowest K.
-     *  Exits on --help. */
+     *  --tx-stats FILE, --tx-slowest K,
+     *  --wl-spec k=v,... and --wl-spec-file FILE.
+     *  Validates numeric ranges (scale, init-scale, threads) before
+     *  returning. Exits on --help. */
     static BenchOptions parse(int argc, char **argv);
 
     /** Baseline config with the options applied. */
     SystemConfig makeConfig() const;
+
+    /** The generated-workload spec: the spec file (if any) with the
+     *  inline --wl-spec applied on top. Defaults when neither is set. */
+    wlgen::GenSpec genSpec() const;
 };
 
 /** Run one (scheme, workload) pair to completion. When cfg.obs.txStats
@@ -60,7 +72,7 @@ struct BenchOptions
  *  path and combine rows instead (see ParallelRunner). */
 RunResult runExperiment(SystemConfig cfg, LogScheme scheme,
                         WorkloadKind kind, const BenchOptions &opts,
-                        const LinkedListOptions &ll_opts = {});
+                        const WorkloadExtras &extras = {});
 
 /** Bind a run's flight-recorder summary to its identity for
  *  serialization (no-op row with a default summary if the recorder

@@ -172,7 +172,7 @@ ParallelRunner::run(const std::vector<SimJob> &batch,
             }
             results[i].result = runExperiment(job.cfg, job.scheme,
                                               job.kind, opts,
-                                              job.llOpts);
+                                              job.extras);
         }});
     }
     const std::vector<double> wallMs = runTasks(tasks, progress);

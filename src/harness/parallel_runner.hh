@@ -38,7 +38,7 @@ struct SimJob
     SystemConfig cfg;
     LogScheme scheme;
     WorkloadKind kind;
-    LinkedListOptions llOpts{};
+    WorkloadExtras extras{};
     std::string label;          ///< progress text, e.g. "Proteus / QE"
 };
 

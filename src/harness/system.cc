@@ -6,7 +6,7 @@ namespace proteus {
 
 FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                        const WorkloadParams &params,
-                       const LinkedListOptions &ll_opts,
+                       const WorkloadExtras &extras,
                        TraceWriteObserver *trace_observer)
     : _cfg(cfg)
 {
@@ -18,7 +18,8 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
     key.kind = kind;
     key.scheme = _cfg.logging.scheme;
     key.params = params;
-    key.llOpts = ll_opts;
+    key.llOpts = extras.ll;
+    key.gen = extras.gen;
     auto bundle = TraceBundle::build(key, trace_observer);
 
     // The bundle is private to this system, so its heap can be mutated

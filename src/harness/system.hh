@@ -65,7 +65,7 @@ class FullSystem
      */
     FullSystem(const SystemConfig &cfg, WorkloadKind kind,
                const WorkloadParams &params,
-               const LinkedListOptions &ll_opts = {},
+               const WorkloadExtras &extras = {},
                TraceWriteObserver *trace_observer = nullptr);
 
     /**

@@ -29,7 +29,8 @@ TraceBundleKey::operator==(const TraceBundleKey &o) const
            params.initScale == o.params.initScale &&
            params.seed == o.params.seed &&
            params.logAreaBytes == o.params.logAreaBytes &&
-           llOpts.elementsPerNode == o.llOpts.elementsPerNode;
+           llOpts.elementsPerNode == o.llOpts.elementsPerNode &&
+           (kind != WorkloadKind::Generated || gen == o.gen);
 }
 
 std::size_t
@@ -44,6 +45,8 @@ TraceBundleKey::hash() const
     hashMix(h, params.seed);
     hashMix(h, params.logAreaBytes);
     hashMix(h, llOpts.elementsPerNode);
+    if (kind == WorkloadKind::Generated)
+        hashMix(h, gen.hash());
     return h;
 }
 
@@ -56,6 +59,8 @@ TraceBundleKey::describe() const
        << params.initScale << " seed" << params.seed;
     if (kind == WorkloadKind::LinkedList)
         os << " epn" << llOpts.elementsPerNode;
+    if (kind == WorkloadKind::Generated)
+        os << " [" << gen.canonical() << "]";
     return os.str();
 }
 
@@ -67,7 +72,7 @@ TraceBundle::build(const TraceBundleKey &key,
     bundle->key = key;
     bundle->heap = std::make_shared<PersistentHeap>();
     bundle->workload = makeWorkload(key.kind, *bundle->heap, key.scheme,
-                                    key.params, key.llOpts);
+                                    key.params, key.extras());
 
     // Functional phase, exactly as FullSystem's constructor used to run
     // it: populate (InitOps), fast-forward the NVM image, record.

@@ -45,6 +45,9 @@ struct TraceBundleKey
     LogScheme scheme = LogScheme::Proteus;
     WorkloadParams params;
     LinkedListOptions llOpts;
+    wlgen::GenSpec gen;
+
+    WorkloadExtras extras() const { return {llOpts, gen}; }
 
     bool operator==(const TraceBundleKey &o) const;
     std::size_t hash() const;

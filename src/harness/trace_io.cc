@@ -229,7 +229,10 @@ struct MetaFields
     std::uint32_t elementsPerNode = 0;
     std::uint32_t threadSections = 0;
     std::uint8_t hasHistory = 0;
+    std::string spec;       ///< canonical GenSpec; empty unless gen
 };
+
+constexpr std::uint32_t maxSpecBytes = 4096;
 
 void
 writeMeta(Writer &w, const TraceBundle &b)
@@ -244,6 +247,11 @@ writeMeta(Writer &w, const TraceBundle &b)
     w.u32(b.key.llOpts.elementsPerNode);
     w.u32(static_cast<std::uint32_t>(b.threads.size()));
     w.u8(b.history ? 1 : 0);
+    const std::string spec = b.key.kind == WorkloadKind::Generated
+                                 ? b.key.gen.canonical()
+                                 : std::string();
+    w.u32(static_cast<std::uint32_t>(spec.size()));
+    w.raw(spec.data(), spec.size());
 }
 
 MetaFields
@@ -260,9 +268,21 @@ readMeta(Reader &r)
     m.elementsPerNode = r.u32();
     m.threadSections = r.u32();
     m.hasHistory = r.u8();
+    const std::uint32_t spec_len = r.u32();
+    if (spec_len > maxSpecBytes)
+        fatal("ptrace: META: spec length ", spec_len,
+              " exceeds the ", maxSpecBytes, "-byte cap");
+    const std::uint8_t *spec_bytes = r.view(spec_len);
+    m.spec.assign(reinterpret_cast<const char *>(spec_bytes), spec_len);
     r.expectEnd();
-    if (m.kind > static_cast<std::uint32_t>(WorkloadKind::LinkedList))
+    if (m.kind > static_cast<std::uint32_t>(WorkloadKind::Generated))
         fatal("ptrace: META: workload kind ", m.kind, " out of range");
+    if (m.kind == static_cast<std::uint32_t>(WorkloadKind::Generated)) {
+        if (m.spec.empty())
+            fatal("ptrace: META: generated workload without a spec");
+    } else if (!m.spec.empty()) {
+        fatal("ptrace: META: spec string on a non-generated workload");
+    }
     if (m.scheme > static_cast<std::uint32_t>(LogScheme::ProteusNoLWR))
         fatal("ptrace: META: log scheme ", m.scheme, " out of range");
     if (m.threads == 0 || m.threadSections != m.threads) {
@@ -792,6 +812,10 @@ loadTraceBundle(const std::string &path)
     bundle->key.params.seed = meta.seed;
     bundle->key.params.logAreaBytes = meta.logAreaBytes;
     bundle->key.llOpts.elementsPerNode = meta.elementsPerNode;
+    // parse() validates the spec and throws FatalError on garbage —
+    // the fuzz tests flip these bytes too.
+    if (bundle->key.kind == WorkloadKind::Generated)
+        bundle->key.gen = wlgen::GenSpec::parse(meta.spec);
 
     bundle->heap = std::make_shared<PersistentHeap>();
     bundle->heap->volatileImage() = std::move(volatile_img);
@@ -847,6 +871,8 @@ inspectTraceFile(const std::string &path)
                 info.key.params.seed = m.seed;
                 info.key.params.logAreaBytes = m.logAreaBytes;
                 info.key.llOpts.elementsPerNode = m.elementsPerNode;
+                if (info.key.kind == WorkloadKind::Generated)
+                    info.key.gen = wlgen::GenSpec::parse(m.spec);
             } else if (s.tag == tagThread) {
                 r.u64();    // logStart
                 r.u64();    // logEnd

@@ -13,7 +13,8 @@
  *             payload (u32), payload bytes
  *
  * Sections, in file order:
- *   META  workload kind, scheme, params, linked-list options
+ *   META  workload kind, scheme, params, linked-list options, and
+ *         (v2) the generated workload's canonical spec string
  *   THRD  one per thread: log-area bounds, micro-ops, log payloads
  *   VIMG  volatile heap image (sparse 4 KiB pages, sorted)
  *   NIMG  NVM heap image (the post-setup durable state)
@@ -45,8 +46,9 @@
 
 namespace proteus {
 
-/** Current .ptrace format version. */
-constexpr std::uint32_t ptraceVersion = 1;
+/** Current .ptrace format version. Version 2 appended the generated
+ *  workload's canonical spec string to META (empty for other kinds). */
+constexpr std::uint32_t ptraceVersion = 2;
 
 /** Save @p bundle to @p path; throws FatalError on I/O failure. */
 void saveTraceBundle(const TraceBundle &bundle, const std::string &path);

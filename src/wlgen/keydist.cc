@@ -1,0 +1,103 @@
+#include "keydist.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace proteus {
+namespace wlgen {
+
+UniformGenerator::UniformGenerator(std::uint64_t n) : KeyGenerator(n)
+{
+    if (n == 0)
+        fatal("UniformGenerator: empty key space");
+}
+
+std::uint64_t
+UniformGenerator::nextRank(Random &rng) const
+{
+    return rng.nextBelow(_n);
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : KeyGenerator(n), _theta(theta)
+{
+    if (n < 2)
+        fatal("ZipfianGenerator: key space must hold at least 2 keys");
+    if (!(theta >= 0.0 && theta < 1.0))
+        fatal("ZipfianGenerator: theta must be in [0, 1)");
+
+    _zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        _zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+    _alpha = 1.0 / (1.0 - theta);
+    _eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / _zetan);
+}
+
+std::uint64_t
+ZipfianGenerator::nextRank(Random &rng) const
+{
+    const double u = rng.nextDouble();
+    const double uz = u * _zetan;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, _theta))
+        return 1;
+    const double span = static_cast<double>(_n);
+    const auto rank = static_cast<std::uint64_t>(
+        span * std::pow(_eta * u - _eta + 1.0, _alpha));
+    return std::min(rank, _n - 1);
+}
+
+double
+ZipfianGenerator::mass(std::uint64_t rank) const
+{
+    return 1.0 /
+           std::pow(static_cast<double>(rank + 1), _theta) / _zetan;
+}
+
+HotSetGenerator::HotSetGenerator(std::uint64_t n, double hot_frac,
+                                 double hot_ops)
+    : KeyGenerator(n), _hotOpFrac(hot_ops)
+{
+    if (n == 0)
+        fatal("HotSetGenerator: empty key space");
+    if (!(hot_frac > 0.0 && hot_frac <= 1.0))
+        fatal("HotSetGenerator: hot fraction must be in (0, 1]");
+    const auto hot = static_cast<std::uint64_t>(
+        static_cast<double>(n) * hot_frac);
+    _hotKeys = std::clamp<std::uint64_t>(hot, 1, n);
+}
+
+std::uint64_t
+HotSetGenerator::nextRank(Random &rng) const
+{
+    // Always consume exactly two draws so sibling keys in one
+    // transaction stay aligned regardless of which region is hit.
+    const bool hot = rng.nextDouble() < _hotOpFrac;
+    if (hot || _hotKeys == _n)
+        return rng.nextBelow(_hotKeys);
+    return _hotKeys + rng.nextBelow(_n - _hotKeys);
+}
+
+std::unique_ptr<KeyGenerator>
+makeKeyGenerator(const GenSpec &spec)
+{
+    switch (spec.dist) {
+      case KeyDist::Uniform:
+        return std::make_unique<UniformGenerator>(spec.keySpace);
+      case KeyDist::Zipfian:
+        return std::make_unique<ZipfianGenerator>(spec.keySpace,
+                                                  spec.theta);
+      case KeyDist::HotSet:
+        return std::make_unique<HotSetGenerator>(
+            spec.keySpace, spec.hotFrac, spec.hotOpFrac);
+    }
+    fatal("makeKeyGenerator: unknown distribution");
+}
+
+} // namespace wlgen
+} // namespace proteus

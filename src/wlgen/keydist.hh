@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded key-distribution generators for generated workloads.
+ *
+ * A KeyGenerator maps a Random stream onto ranks in [0, n): rank 0 is
+ * the most popular key. The generators themselves are stateless after
+ * construction (all randomness flows through the caller's Random), so
+ * one generator can serve every thread of a workload and the key
+ * stream of a thread depends only on that thread's seed — which is
+ * what makes generated traces cacheable and replayable.
+ */
+
+#ifndef PROTEUS_WLGEN_KEYDIST_HH
+#define PROTEUS_WLGEN_KEYDIST_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/random.hh"
+#include "spec.hh"
+
+namespace proteus {
+namespace wlgen {
+
+/** Draws key ranks in [0, n) from a caller-owned Random stream. */
+class KeyGenerator
+{
+  public:
+    explicit KeyGenerator(std::uint64_t n) : _n(n) {}
+    virtual ~KeyGenerator() = default;
+
+    /** Next rank in [0, n); consumes draws from @p rng only. */
+    virtual std::uint64_t nextRank(Random &rng) const = 0;
+
+    std::uint64_t n() const { return _n; }
+
+  protected:
+    std::uint64_t _n;
+};
+
+/** Every rank equally likely. */
+class UniformGenerator : public KeyGenerator
+{
+  public:
+    explicit UniformGenerator(std::uint64_t n);
+    std::uint64_t nextRank(Random &rng) const override;
+};
+
+/**
+ * Zipfian ranks via the Gray et al. incremental method (the YCSB
+ * generator): an O(n) harmonic precomputation, then O(1) stateless
+ * draws. Rank r has analytical mass (1/(r+1)^theta) / zeta(n, theta).
+ */
+class ZipfianGenerator : public KeyGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta);
+    std::uint64_t nextRank(Random &rng) const override;
+
+    /** Analytical probability of @p rank — the unit tests compare
+     *  empirical frequencies against this. */
+    double mass(std::uint64_t rank) const;
+
+  private:
+    double _theta;
+    double _zetan;      ///< zeta(n, theta)
+    double _alpha;      ///< 1 / (1 - theta)
+    double _eta;
+};
+
+/** hotOpFrac of draws land uniformly in the first hotFrac*n ranks. */
+class HotSetGenerator : public KeyGenerator
+{
+  public:
+    HotSetGenerator(std::uint64_t n, double hot_frac, double hot_ops);
+    std::uint64_t nextRank(Random &rng) const override;
+
+    std::uint64_t hotKeys() const { return _hotKeys; }
+
+  private:
+    std::uint64_t _hotKeys;
+    double _hotOpFrac;
+};
+
+/** Build the generator @p spec asks for over [0, spec.keySpace). */
+std::unique_ptr<KeyGenerator> makeKeyGenerator(const GenSpec &spec);
+
+} // namespace wlgen
+} // namespace proteus
+
+#endif // PROTEUS_WLGEN_KEYDIST_HH

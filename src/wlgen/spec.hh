@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Declarative generated-workload specification.
+ *
+ * A GenSpec describes one synthetic key-value transaction workload:
+ * the operation mix, the keys-per-transaction range, value size, table
+ * count, the key distribution (uniform / Zipfian / hot-set), and the
+ * working-set size. Specs parse from the `--wl-spec k=v,...` CLI
+ * syntax and from small `key = value` spec files, and render to a
+ * canonical string that round-trips through parse() — the canonical
+ * form is the spec's identity in trace-cache keys and .ptrace files,
+ * so two spellings of the same spec share one trace bundle.
+ *
+ * Fractional knobs (theta, hot-frac, hot-ops) are quantized to 1e-4 at
+ * parse time so field equality, hashing, and the canonical string all
+ * agree bit-for-bit no matter how the value was spelled.
+ */
+
+#ifndef PROTEUS_WLGEN_SPEC_HH
+#define PROTEUS_WLGEN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace proteus {
+namespace wlgen {
+
+/** Key-selection distribution of a generated workload. */
+enum class KeyDist
+{
+    Uniform,    ///< every key equally likely
+    Zipfian,    ///< rank r with mass ~ 1/(r+1)^theta (Gray et al.)
+    HotSet,     ///< hot-ops fraction of draws hit a hot-frac subset
+};
+
+const char *toString(KeyDist dist);
+KeyDist parseKeyDist(const std::string &name);
+
+/** One generated workload, fully described. */
+struct GenSpec
+{
+    /// @name Operation mix (percent; must sum to 100)
+    /// @{
+    unsigned readPct = 50;
+    unsigned updatePct = 30;
+    unsigned insertPct = 10;
+    unsigned deletePct = 5;
+    unsigned rmwPct = 5;        ///< read-modify-write
+    /// @}
+
+    /// @name Transaction shape
+    /// @{
+    unsigned keysMin = 1;       ///< keys per transaction, inclusive
+    unsigned keysMax = 4;
+    unsigned valueBytes = 64;   ///< per-key value size, multiple of 8
+    /// @}
+
+    /// @name Store shape
+    /// @{
+    unsigned tables = 4;        ///< independent KV tables
+    std::uint64_t keySpace = 100000;    ///< keys draw from [0, keySpace)
+    unsigned populatePct = 50;  ///< % of keySpace inserted during setup
+    /// @}
+
+    /** Paper-style per-thread SimOps base; divided by params.scale. */
+    std::uint64_t baseOps = 20000;
+
+    /// @name Key distribution
+    /// @{
+    KeyDist dist = KeyDist::Zipfian;
+    double theta = 0.9;         ///< Zipfian skew, [0, 1)
+    double hotFrac = 0.1;       ///< HotSet: hot subset size, (0, 1]
+    double hotOpFrac = 0.9;     ///< HotSet: draws hitting the subset
+    /// @}
+
+    /**
+     * Parse `k=v,k=v,...` on top of @p base (so an inline --wl-spec
+     * can override a spec file). Every key is validated; the returned
+     * spec passed validate(). Throws FatalError on any problem.
+     */
+    static GenSpec parse(const std::string &kvs, const GenSpec &base);
+    static GenSpec parse(const std::string &kvs);
+
+    /**
+     * Parse a spec file: one `key = value` per line, '#' comments and
+     * blank lines ignored; same keys as parse().
+     */
+    static GenSpec parseFile(const std::string &path,
+                             const GenSpec &base);
+    static GenSpec parseFile(const std::string &path);
+
+    /**
+     * Canonical `k=v,...` form: fixed field order, fractions printed
+     * with trailing zeros trimmed, distribution-specific knobs only.
+     * parse(canonical()) == *this for any valid spec.
+     */
+    std::string canonical() const;
+
+    /** Throw FatalError unless every field is in range. */
+    void validate() const;
+
+    bool operator==(const GenSpec &o) const;
+    bool operator!=(const GenSpec &o) const { return !(*this == o); }
+
+    /** Mixes every field (for TraceBundleKey::hash). */
+    std::uint64_t hash() const;
+};
+
+} // namespace wlgen
+} // namespace proteus
+
+#endif // PROTEUS_WLGEN_SPEC_HH

@@ -1,5 +1,7 @@
 #include "avltree_wl.hh"
 
+#include "registry.hh"
+
 #include <algorithm>
 #include <functional>
 #include <sstream>
@@ -317,6 +319,21 @@ AvlTreeWorkload::checkInvariants(const MemoryImage &image) const
               std::numeric_limits<std::uint64_t>::max());
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+avlTreeWorkloadRegistration()
+{
+    return {WorkloadKind::AvlTree, "AT", "avltree",
+            "insert or delete nodes in 16 AVL trees (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<AvlTreeWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

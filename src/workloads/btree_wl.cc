@@ -1,5 +1,7 @@
 #include "btree_wl.hh"
 
+#include "registry.hh"
+
 #include <functional>
 #include <limits>
 #include <sstream>
@@ -476,6 +478,21 @@ BTreeWorkload::checkInvariants(const MemoryImage &image) const
                   std::numeric_limits<std::uint64_t>::max() - 1, true);
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+bTreeWorkloadRegistration()
+{
+    return {WorkloadKind::BTree, "BT", "btree",
+            "insert or delete nodes in 16 B-trees (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<BTreeWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

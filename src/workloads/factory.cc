@@ -1,38 +1,80 @@
-#include "avltree_wl.hh"
-#include "btree_wl.hh"
-#include "hashmap_wl.hh"
-#include "linkedlist_wl.hh"
-#include "queue_wl.hh"
-#include "rbtree_wl.hh"
-#include "stringswap_wl.hh"
-#include "workload.hh"
+#include "registry.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
 
 namespace proteus {
 
+const std::vector<WorkloadRegistration> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadRegistration> registry = {
+        queueWorkloadRegistration(),
+        hashMapWorkloadRegistration(),
+        stringSwapWorkloadRegistration(),
+        avlTreeWorkloadRegistration(),
+        bTreeWorkloadRegistration(),
+        rbTreeWorkloadRegistration(),
+        linkedListWorkloadRegistration(),
+        genWorkloadRegistration(),
+    };
+    return registry;
+}
+
+const WorkloadRegistration &
+workloadInfo(WorkloadKind kind)
+{
+    for (const auto &reg : workloadRegistry()) {
+        if (reg.kind == kind)
+            return reg;
+    }
+    fatal("workloadInfo: unregistered workload kind ",
+          static_cast<int>(kind));
+}
+
 std::unique_ptr<Workload>
 makeWorkload(WorkloadKind kind, PersistentHeap &heap, LogScheme scheme,
-             const WorkloadParams &params,
-             const LinkedListOptions &ll_opts)
+             const WorkloadParams &params, const WorkloadExtras &extras)
 {
-    switch (kind) {
-      case WorkloadKind::Queue:
-        return std::make_unique<QueueWorkload>(heap, scheme, params);
-      case WorkloadKind::HashMap:
-        return std::make_unique<HashMapWorkload>(heap, scheme, params);
-      case WorkloadKind::StringSwap:
-        return std::make_unique<StringSwapWorkload>(heap, scheme,
-                                                    params);
-      case WorkloadKind::AvlTree:
-        return std::make_unique<AvlTreeWorkload>(heap, scheme, params);
-      case WorkloadKind::BTree:
-        return std::make_unique<BTreeWorkload>(heap, scheme, params);
-      case WorkloadKind::RbTree:
-        return std::make_unique<RbTreeWorkload>(heap, scheme, params);
-      case WorkloadKind::LinkedList:
-        return std::make_unique<LinkedListWorkload>(heap, scheme,
-                                                    params, ll_opts);
+    return workloadInfo(kind).build(heap, scheme, params, extras);
+}
+
+const char *
+toString(WorkloadKind kind)
+{
+    for (const auto &reg : workloadRegistry()) {
+        if (reg.kind == kind)
+            return reg.abbrev;
     }
-    return nullptr;
+    return "?";
+}
+
+WorkloadKind
+parseWorkload(const std::string &name)
+{
+    for (const auto &reg : workloadRegistry()) {
+        if (name == reg.abbrev || name == reg.cliName)
+            return reg.kind;
+    }
+    std::ostringstream known;
+    for (const auto &reg : workloadRegistry()) {
+        if (known.tellp() > 0)
+            known << ", ";
+        known << reg.abbrev << "/" << reg.cliName;
+    }
+    fatal("unknown workload: ", name, " (known: ", known.str(), ")");
+}
+
+std::vector<WorkloadKind>
+allPaperWorkloads()
+{
+    std::vector<WorkloadKind> kinds;
+    for (const auto &reg : workloadRegistry()) {
+        if (reg.paper)
+            kinds.push_back(reg.kind);
+    }
+    return kinds;
 }
 
 } // namespace proteus

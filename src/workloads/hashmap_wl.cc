@@ -1,5 +1,7 @@
 #include "hashmap_wl.hh"
 
+#include "registry.hh"
+
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -215,6 +217,21 @@ HashMapWorkload::checkInvariants(const MemoryImage &image) const
         }
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+hashMapWorkloadRegistration()
+{
+    return {WorkloadKind::HashMap, "HM", "hashmap",
+            "insert or delete entries in 16 chained hash maps (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<HashMapWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

@@ -1,5 +1,7 @@
 #include "linkedlist_wl.hh"
 
+#include "registry.hh"
+
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -110,6 +112,22 @@ LinkedListWorkload::checkInvariants(const MemoryImage &image) const
         }
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+linkedListWorkloadRegistration()
+{
+    return {WorkloadKind::LinkedList, "LL", "linkedlist",
+            "Table 3 microbenchmark: large variable-sized transactions",
+            "elementsPerNode (WorkloadExtras.ll; Table 3 bench sweeps it)", false,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &extras)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<LinkedListWorkload>(heap, scheme, params,
+                                                          extras.ll);
+            }};
 }
 
 } // namespace proteus

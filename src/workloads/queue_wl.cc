@@ -1,5 +1,7 @@
 #include "queue_wl.hh"
 
+#include "registry.hh"
+
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -170,6 +172,21 @@ QueueWorkload::checkInvariants(const MemoryImage &image) const
             err << "q" << q << ": tail does not match last node\n";
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+queueWorkloadRegistration()
+{
+    return {WorkloadKind::Queue, "QE", "queue",
+            "enqueue/dequeue in 8 shared linked-list queues (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<QueueWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

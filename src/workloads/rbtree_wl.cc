@@ -1,5 +1,7 @@
 #include "rbtree_wl.hh"
 
+#include "registry.hh"
+
 #include <functional>
 #include <limits>
 #include <sstream>
@@ -423,6 +425,21 @@ RbTreeWorkload::checkInvariants(const MemoryImage &image) const
         check(root, 0, std::numeric_limits<std::uint64_t>::max());
     }
     return err.str();
+}
+
+
+WorkloadRegistration
+rbTreeWorkloadRegistration()
+{
+    return {WorkloadKind::RbTree, "RT", "rbtree",
+            "insert or delete nodes in 16 red-black trees (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<RbTreeWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

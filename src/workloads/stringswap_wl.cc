@@ -1,5 +1,7 @@
 #include "stringswap_wl.hh"
 
+#include "registry.hh"
+
 #include <algorithm>
 #include <sstream>
 
@@ -150,6 +152,21 @@ StringSwapWorkload::checkInvariants(const MemoryImage &image) const
         err << "string id sum " << sum << " != expected " << expect
             << " (lost or duplicated strings)\n";
     return err.str();
+}
+
+
+WorkloadRegistration
+stringSwapWorkloadRegistration()
+{
+    return {WorkloadKind::StringSwap, "SS", "stringswap",
+            "swap 256-byte strings in a large string array (Table 2)",
+            "", true,
+            [](PersistentHeap &heap, LogScheme scheme,
+               const WorkloadParams &params,
+               const WorkloadExtras &)
+                -> std::unique_ptr<Workload> {
+                return std::make_unique<StringSwapWorkload>(heap, scheme, params);
+            }};
 }
 
 } // namespace proteus

@@ -140,42 +140,7 @@ Workload::mutateWithConservativeLog(
     mutate();
 }
 
-const char *
-toString(WorkloadKind kind)
-{
-    switch (kind) {
-      case WorkloadKind::Queue:      return "QE";
-      case WorkloadKind::HashMap:    return "HM";
-      case WorkloadKind::StringSwap: return "SS";
-      case WorkloadKind::AvlTree:    return "AT";
-      case WorkloadKind::BTree:      return "BT";
-      case WorkloadKind::RbTree:     return "RT";
-      case WorkloadKind::LinkedList: return "LL";
-    }
-    return "?";
-}
-
-WorkloadKind
-parseWorkload(const std::string &name)
-{
-    if (name == "QE" || name == "queue") return WorkloadKind::Queue;
-    if (name == "HM" || name == "hashmap") return WorkloadKind::HashMap;
-    if (name == "SS" || name == "stringswap")
-        return WorkloadKind::StringSwap;
-    if (name == "AT" || name == "avltree") return WorkloadKind::AvlTree;
-    if (name == "BT" || name == "btree") return WorkloadKind::BTree;
-    if (name == "RT" || name == "rbtree") return WorkloadKind::RbTree;
-    if (name == "LL" || name == "linkedlist")
-        return WorkloadKind::LinkedList;
-    fatal("unknown workload: ", name);
-}
-
-std::vector<WorkloadKind>
-allPaperWorkloads()
-{
-    return {WorkloadKind::Queue,   WorkloadKind::HashMap,
-            WorkloadKind::StringSwap, WorkloadKind::AvlTree,
-            WorkloadKind::BTree,   WorkloadKind::RbTree};
-}
+// toString / parseWorkload / allPaperWorkloads live in factory.cc,
+// implemented over the workload registry (registry.hh).
 
 } // namespace proteus

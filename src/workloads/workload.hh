@@ -23,6 +23,7 @@
 #include "sim/config.hh"
 #include "sim/random.hh"
 #include "trace/trace_builder.hh"
+#include "wlgen/spec.hh"
 
 namespace proteus {
 
@@ -194,6 +195,7 @@ enum class WorkloadKind
     BTree,      ///< BT
     RbTree,     ///< RT
     LinkedList, ///< Table 3 microbenchmark
+    Generated,  ///< GEN: declarative synthetic workload (src/wlgen)
 };
 
 const char *toString(WorkloadKind kind);
@@ -206,10 +208,20 @@ struct LinkedListOptions
     unsigned elementsPerNode = 1024;
 };
 
+/** Workload-specific knobs beyond WorkloadParams; defaults are valid
+ *  for every kind, so callers without special needs pass `{}`. */
+struct WorkloadExtras
+{
+    LinkedListOptions ll;       ///< LinkedList only
+    wlgen::GenSpec gen;         ///< Generated only
+};
+
+/** Build @p kind via the factory registry (see registry.hh); throws
+ *  FatalError for an unregistered kind instead of returning null. */
 std::unique_ptr<Workload>
 makeWorkload(WorkloadKind kind, PersistentHeap &heap, LogScheme scheme,
              const WorkloadParams &params,
-             const LinkedListOptions &ll_opts = {});
+             const WorkloadExtras &extras = {});
 
 } // namespace proteus
 

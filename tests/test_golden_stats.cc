@@ -87,6 +87,22 @@ runCell(LogScheme scheme, WorkloadKind kind)
     return runExperiment(baselineConfig(), scheme, kind, opts);
 }
 
+/** The one generated-workload spec pinned by the golden file. */
+RunResult
+runGenCell(LogScheme scheme)
+{
+    BenchOptions opts;
+    opts.scale = 1;
+    opts.initScale = 1;
+    opts.threads = 2;
+    opts.seed = 1;
+    opts.wlSpec = "dist=zipf,theta=0.9,keyspace=4096,ops=500";
+    WorkloadExtras extras;
+    extras.gen = opts.genSpec();
+    return runExperiment(baselineConfig(), scheme,
+                         WorkloadKind::Generated, opts, extras);
+}
+
 /** golden file line: "<scheme> <workload> k=v k=v ..." */
 std::map<std::string, Counters>
 loadGolden()
@@ -136,37 +152,48 @@ TEST(GoldenStats, SchemesMatchGoldenCounters)
         loadGolden().swap(golden);
     }
 
+    const auto checkCell = [&](const std::string &cell,
+                               const RunResult &r) {
+        SCOPED_TRACE(cell);
+        ASSERT_TRUE(r.finished);
+        const Counters actual = countersOf(r);
+
+        if (rebaseline) {
+            out << cell;
+            for (const auto &[k, v] : actual)
+                out << " " << k << "=" << v;
+            out << "\n";
+            return;
+        }
+
+        const auto it = golden.find(cell);
+        ASSERT_NE(it, golden.end())
+            << "no golden row for " << cell << " — rebaseline";
+        const Counters &want = it->second;
+        ASSERT_EQ(want.size(), actual.size()) << "counter set "
+                                              << "changed; rebaseline";
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(want[i].first, actual[i].first);
+            EXPECT_EQ(want[i].second, actual[i].second)
+                << cell << ": counter '" << want[i].first
+                << "' drifted (golden " << want[i].second
+                << ", actual " << actual[i].second << ")";
+        }
+    };
+
     for (const LogScheme scheme : allSchemes) {
         for (const WorkloadKind kind : goldenWorkloads) {
-            const std::string cell =
-                std::string(toString(scheme)) + " " + toString(kind);
-            SCOPED_TRACE(cell);
-            const RunResult r = runCell(scheme, kind);
-            ASSERT_TRUE(r.finished);
-            const Counters actual = countersOf(r);
-
-            if (rebaseline) {
-                out << toString(scheme) << " " << toString(kind);
-                for (const auto &[k, v] : actual)
-                    out << " " << k << "=" << v;
-                out << "\n";
-                continue;
-            }
-
-            const auto it = golden.find(cell);
-            ASSERT_NE(it, golden.end())
-                << "no golden row for " << cell << " — rebaseline";
-            const Counters &want = it->second;
-            ASSERT_EQ(want.size(), actual.size()) << "counter set "
-                                                  << "changed; rebaseline";
-            for (std::size_t i = 0; i < want.size(); ++i) {
-                EXPECT_EQ(want[i].first, actual[i].first);
-                EXPECT_EQ(want[i].second, actual[i].second)
-                    << cell << ": counter '" << want[i].first
-                    << "' drifted (golden " << want[i].second
-                    << ", actual " << actual[i].second << ")";
-            }
+            checkCell(std::string(toString(scheme)) + " " +
+                          toString(kind),
+                      runCell(scheme, kind));
         }
+    }
+    // The generated workload: one fixed spec (see runGenCell), pinned
+    // per scheme so GenSpec/keydist/GenWorkload drift is caught at the
+    // counter level, not just functionally.
+    for (const LogScheme scheme : allSchemes) {
+        checkCell(std::string(toString(scheme)) + " GEN",
+                  runGenCell(scheme));
     }
 
     if (rebaseline) {

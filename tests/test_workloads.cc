@@ -123,10 +123,10 @@ TEST(LinkedListWorkload, VersionsAdvanceConsistently)
 {
     PersistentHeap heap;
     WorkloadParams p = smallParams(1);
-    LinkedListOptions opts;
-    opts.elementsPerNode = 64;
+    WorkloadExtras extras;
+    extras.ll.elementsPerNode = 64;
     auto wl = makeWorkload(WorkloadKind::LinkedList, heap,
-                           LogScheme::Proteus, p, opts);
+                           LogScheme::Proteus, p, extras);
     wl->setup();
     wl->generateTraces();
     EXPECT_TRUE(wl->checkInvariants(heap.volatileImage()).empty());

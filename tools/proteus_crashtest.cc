@@ -44,7 +44,12 @@ usage()
         << "                     pmem | pmem+pcommit | pmem+nolog |\n"
         << "                     atom | proteus | proteus+nolwr\n"
         << "  --workloads LIST   comma list or 'all' (default all "
-        << "paper workloads)\n"
+        << "paper workloads);\n"
+        << "                     'gen' selects the generated workload\n"
+        << "  --wl-spec k=v,...  generated-workload spec (workload "
+        << "'gen')\n"
+        << "  --wl-spec-file F   spec file; --wl-spec overrides on "
+        << "top\n"
         << "  --sweep-points N   target points per pair for --sweep "
         << "(default 50)\n"
         << "  --seed N           workload + fuzz seed (default 11)\n"
@@ -118,6 +123,8 @@ main(int argc, char **argv)
     CrashTestOptions opts;
     opts.schemes = parseSchemes("all");
     opts.workloads = parseWorkloads("all");
+    std::string wlSpec;
+    std::string wlSpecFile;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -149,6 +156,10 @@ main(int argc, char **argv)
                 opts.schemes = parseSchemes(value());
             } else if (arg == "--workloads") {
                 opts.workloads = parseWorkloads(value());
+            } else if (arg == "--wl-spec") {
+                wlSpec = value();
+            } else if (arg == "--wl-spec-file") {
+                wlSpecFile = value();
             } else if (arg == "--seed") {
                 opts.seed = std::stoull(value());
             } else if (arg == "--threads") {
@@ -180,6 +191,18 @@ main(int argc, char **argv)
                 return usage();
             }
         }
+
+        if (opts.scale == 0)
+            fatal("--scale must be >= 1");
+        if (opts.initScale == 0)
+            fatal("--init-scale must be >= 1");
+        if (opts.threads == 0 || opts.threads > 32)
+            fatal("--threads must be in [1, 32], got " +
+                  std::to_string(opts.threads));
+        if (!wlSpecFile.empty())
+            opts.gen = wlgen::GenSpec::parseFile(wlSpecFile);
+        if (!wlSpec.empty())
+            opts.gen = wlgen::GenSpec::parse(wlSpec, opts.gen);
 
         std::cout << "crash-testing " << opts.schemes.size()
                   << " schemes x " << opts.workloads.size()

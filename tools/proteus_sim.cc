@@ -24,6 +24,7 @@
 #include "harness/trace_io.hh"
 #include "recovery/recovery.hh"
 #include "sim/logging.hh"
+#include "workloads/registry.hh"
 
 using namespace proteus;
 
@@ -40,7 +41,9 @@ usage()
         << "(proteus-trace record)\n"
         << "  crash <workload>   crash partway, recover, validate\n"
         << "  matrix             every scheme x workload, in parallel\n"
-        << "  list               show workloads and schemes\n\n"
+        << "  list               show workloads and schemes\n"
+        << "  --list-workloads   show every workload with its extra "
+        << "knobs\n\n"
         << "options (run/crash):\n"
         << "  --scheme S         pmem | pmem+pcommit | pmem+nolog |\n"
         << "                     atom | proteus | proteus+nolwr\n"
@@ -55,7 +58,11 @@ usage()
         << "  --dram             DRAM timing (Section 7.2)\n"
         << "  --set k=v          config override\n"
         << "  --no-cycle-skip    tick every cycle instead of skipping "
-        << "quiescent spans (same results, slower)\n\n"
+        << "quiescent spans (same results, slower)\n"
+        << "  --wl-spec k=v,...  generated-workload spec (workload "
+        << "'gen')\n"
+        << "  --wl-spec-file F   spec file; --wl-spec overrides on "
+        << "top\n\n"
         << "observability (run/crash/matrix):\n"
         << "  --stats-interval N sample scalar-stat deltas every N "
         << "cycles\n"
@@ -137,16 +144,26 @@ printSummary(const RunResult &r)
 int
 cmdList()
 {
-    std::cout << "workloads (Table 2 + the Table 3 microbenchmark):\n";
-    for (WorkloadKind w : allPaperWorkloads())
-        std::cout << "  " << toString(w) << "\n";
-    std::cout << "  LL (linked-list large transactions)\n\n"
-              << "schemes (Figure 6):\n";
+    std::cout << "workloads:\n";
+    for (const WorkloadRegistration &reg : workloadRegistry())
+        std::cout << "  " << reg.abbrev << " (" << reg.summary << ")\n";
+    std::cout << "\nschemes (Figure 6):\n";
     for (LogScheme s :
          {LogScheme::PMEM, LogScheme::PMEMPCommit,
           LogScheme::PMEMNoLog, LogScheme::ATOM, LogScheme::Proteus,
           LogScheme::ProteusNoLWR}) {
         std::cout << "  " << toString(s) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdListWorkloads()
+{
+    for (const WorkloadRegistration &reg : workloadRegistry()) {
+        std::cout << reg.abbrev << " / " << reg.cliName << "\n"
+                  << "    " << reg.summary << "\n"
+                  << "    knobs: " << reg.knobs << "\n";
     }
     return 0;
 }
@@ -165,10 +182,13 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
     params.initScale = opts.initScale;
     params.seed = opts.seed;
 
+    WorkloadExtras wlExtras;
+    wlExtras.gen = opts.genSpec();
+
     std::cout << "running " << toString(kind) << " under "
               << toString(extras.scheme) << " (" << params.threads
               << " cores)...\n";
-    FullSystem system(cfg, kind, params);
+    FullSystem system(cfg, kind, params, wlExtras);
     const RunResult r = system.run();
     printSummary(r);
     std::cout << "kernel steps:       " << system.sim().kernelSteps()
@@ -294,8 +314,11 @@ cmdCrash(WorkloadKind kind, const CliExtras &extras,
     params.initScale = opts.initScale;
     params.seed = opts.seed;
 
+    WorkloadExtras wlExtras;
+    wlExtras.gen = opts.genSpec();
+
     std::cout << "measuring the full run...\n";
-    FullSystem full(cfg, kind, params);
+    FullSystem full(cfg, kind, params, wlExtras);
     const RunResult complete = full.run();
     const Tick crash_at =
         complete.cycles * extras.crashPercent / 100;
@@ -303,7 +326,7 @@ cmdCrash(WorkloadKind kind, const CliExtras &extras,
     std::cout << "crashing at cycle " << crash_at << " ("
               << extras.crashPercent << "% of " << complete.cycles
               << ")...\n";
-    FullSystem sys(cfg, kind, params);
+    FullSystem sys(cfg, kind, params, wlExtras);
     sys.runFor(crash_at);
     MemoryImage image = sys.crashImage();
 
@@ -355,6 +378,8 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     if (command == "list")
         return cmdList();
+    if (command == "--list-workloads" || command == "list-workloads")
+        return cmdListWorkloads();
     if (command == "--help" || command == "-h")
         return usage();
     if (command == "matrix") {

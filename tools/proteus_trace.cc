@@ -53,7 +53,11 @@ usage()
         << "  --log-area-bytes N per-thread log area size "
         << "(default 1 MiB)\n"
         << "  --elements-per-node N  linked-list elements per node "
-        << "(LL only)\n";
+        << "(LL only)\n"
+        << "  --wl-spec k=v,...  generated-workload spec (workload "
+        << "'gen')\n"
+        << "  --wl-spec-file F   spec file; --wl-spec overrides on "
+        << "top\n";
     return 2;
 }
 
@@ -68,6 +72,8 @@ cmdRecord(int argc, char **argv)
     key.kind = parseWorkload(argv[2]);
     key.params.scale = 200;     // the bench binaries' default size
     std::string out;
+    std::string wl_spec;
+    std::string wl_spec_file;
     bool with_history = false;
 
     for (int i = 3; i < argc; ++i) {
@@ -99,6 +105,10 @@ cmdRecord(int argc, char **argv)
         } else if (arg == "--elements-per-node") {
             key.llOpts.elementsPerNode =
                 static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--wl-spec") {
+            wl_spec = value();
+        } else if (arg == "--wl-spec-file") {
+            wl_spec_file = value();
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return usage();
@@ -106,6 +116,14 @@ cmdRecord(int argc, char **argv)
     }
     if (out.empty())
         fatal("record requires --out FILE");
+    if (key.params.scale == 0)
+        fatal("--scale must be >= 1");
+    if (key.params.initScale == 0)
+        fatal("--init-scale must be >= 1");
+    if (!wl_spec_file.empty())
+        key.gen = wlgen::GenSpec::parseFile(wl_spec_file);
+    if (!wl_spec.empty())
+        key.gen = wlgen::GenSpec::parse(wl_spec, key.gen);
 
     std::cout << "recording " << key.describe() << "...\n";
     const auto bundle = TraceBundle::build(key, nullptr, with_history);
