@@ -27,13 +27,18 @@ hexAddr(Addr addr)
 std::string
 OracleReport::summary() const
 {
+    std::string poisoned;
+    if (poisonedBytes > 0) {
+        poisoned = ", " + std::to_string(poisonedBytes) +
+                   " on poisoned lines (detected-unrecoverable)";
+    }
     if (ok) {
         return "ok: " + std::to_string(bytesChecked) +
                " bytes checked, " + std::to_string(bytesSkipped) +
-               " skipped";
+               " skipped" + poisoned;
     }
     return std::to_string(violationCount) + " violating bytes (" +
-           std::to_string(bytesChecked) + " checked)";
+           std::to_string(bytesChecked) + " checked)" + poisoned;
 }
 
 void
@@ -191,10 +196,29 @@ CommitOracle::check(const MemoryImage &image,
             ++report.bytesSkipped;
             continue;
         }
-        ++report.bytesChecked;
 
         std::uint8_t actual = 0;
         image.read(addr, &actual, 1);
+
+        // A byte on a poisoned line is a *detected* loss: the media ECC
+        // flagged the line uncorrectable and no checker should treat
+        // its contents as meaningful. Record the byte-diff separately;
+        // the crash tester decides whether detected loss is acceptable.
+        if (image.isPoisoned(addr)) {
+            ++report.poisonedBytes;
+            if (report.poisonedSample.size() < max_violations) {
+                OracleViolation v;
+                v.addr = addr;
+                v.expected = committed_value;
+                v.actual = actual;
+                v.alternative = in_doubt_value;
+                v.note = "line poisoned by media fault "
+                         "(detected-unrecoverable)";
+                report.poisonedSample.push_back(v);
+            }
+            continue;
+        }
+        ++report.bytesChecked;
 
         if (has_in_doubt && in_doubt_value != committed_value) {
             if (actual != committed_value && actual != in_doubt_value) {

@@ -70,6 +70,15 @@ struct OracleReport
     std::uint64_t bytesSkipped = 0;     ///< unpredictable (raw/unlogged)
     InDoubtOutcome inDoubt = InDoubtOutcome::NoEvidence;
     TxId inDoubtTx = 0;
+    /**
+     * Tracked bytes on lines the media fault layer marked
+     * detected-uncorrectable. These are excluded from the byte-exact
+     * checks — the loss is *detected*, not silent — and surfaced
+     * separately so the crash tester can return a
+     * detectedUnrecoverable verdict with a minimal byte-diff.
+     */
+    std::uint64_t poisonedBytes = 0;
+    std::vector<OracleViolation> poisonedSample;    ///< capped byte-diff
 
     std::string summary() const;
 };

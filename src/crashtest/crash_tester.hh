@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "commit_oracle.hh"
+#include "faults/fault_config.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/system.hh"
 #include "recovery/recovery.hh"
@@ -83,6 +84,14 @@ struct CrashTestOptions
      *  run()'s limit, so sweeps are bit-identical either way. */
     bool cycleSkip = true;
     bool verbose = false;
+    /**
+     * NVM media fault injection composed with the crash campaign
+     * (--faults / --fault-seed). With faults active a crash point may
+     * legitimately lose data the media destroyed — such points are
+     * verdicted detectedUnrecoverable (acceptable) as long as the loss
+     * was flagged by ECC/poison; silent corruption is always a failure.
+     */
+    faults::FaultConfig faults;
 };
 
 /** Outcome of one crash point. */
@@ -98,6 +107,17 @@ struct CrashPointResult
     std::string serializeError;
     bool truncatedTail = false;         ///< any thread's log scan
     std::uint64_t tornSlots = 0;        ///< summed over threads
+    /** Log slots classified poisoned by the recovery scans. */
+    std::uint64_t poisonedSlots = 0;
+    /** Poisoned lines anywhere in the recovered image. */
+    std::uint64_t poisonedLines = 0;
+    /**
+     * The crash point lost data, but every loss was *detected* (ECC
+     * poison on the lines involved): an acceptable degraded outcome.
+     * Rows with check failures and no detected media loss stay plain
+     * failures — silent corruption is never excused.
+     */
+    bool detectedUnrecoverable = false;
     bool ok = true;
 };
 
@@ -110,7 +130,11 @@ struct CrashPairResult
     std::uint64_t totalTxs = 0;         ///< recorded transactions
     std::vector<CrashPointResult> points;
     std::uint64_t violations = 0;       ///< oracle + invariant + serialize
+    /** Crash points verdicted detectedUnrecoverable (media loss). */
+    std::uint64_t detectedUnrecoverable = 0;
     std::vector<std::string> failureReports;    ///< human-readable
+    /** Byte-diff notes for detected-unrecoverable points (capped). */
+    std::vector<std::string> degradedReports;
 };
 
 /** Campaign outcome. */
@@ -119,6 +143,8 @@ struct CrashTestSummary
     std::vector<CrashPairResult> pairs;
     std::uint64_t crashPoints = 0;
     std::uint64_t violations = 0;
+    /** Crash points with acceptable detected-unrecoverable media loss. */
+    std::uint64_t detectedUnrecoverable = 0;
     bool ok = true;
 };
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Seeded, deterministic NVM media fault model with an ECC view.
+ *
+ * The model sits at the MemCtrl/NvmTiming boundary: the controller
+ * routes every completed array write through applyWrite() (which may
+ * tear the line or hit worn cells) and classifies every completed
+ * array read with classifyRead() (which may report a transient flip).
+ * All randomness is a pure hash of (seed, line address, per-line
+ * access ordinal) — never of simulated time — so the injected fault
+ * stream is identical across --jobs levels and with cycle skipping on
+ * or off, as long as the per-line access order is deterministic
+ * (which the MC arbiter guarantees).
+ *
+ * ECC semantics per event: faults flipping at most eccCorrectBits are
+ * corrected in line; flips within eccDetectBits are detected but
+ * uncorrectable (the line is poisoned — see MemoryImage::isPoisoned —
+ * and reads of it keep failing until the MC's bounded retry gives up);
+ * flips beyond eccDetectBits are silent corruption, which downstream
+ * checkers (oracle, invariants) must catch.
+ */
+
+#ifndef PROTEUS_FAULTS_FAULT_MODEL_HH
+#define PROTEUS_FAULTS_FAULT_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "fault_config.hh"
+#include "heap/memory_image.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace proteus {
+namespace faults {
+
+/** What the medium did with one completed 64B array write. */
+enum class WriteOutcome : std::uint8_t
+{
+    Clean,          ///< stored intact
+    Torn,           ///< partial line persisted; line poisoned
+    Corrected,      ///< worn cells flipped bits within ECC correction
+    Uncorrectable,  ///< worn cells beyond correction; line poisoned
+    Silent,         ///< corruption beyond ECC detection; NOT poisoned
+};
+
+/** What ECC saw on one completed array read attempt. */
+enum class ReadOutcome : std::uint8_t
+{
+    Clean,          ///< no fault
+    Corrected,      ///< transient flip corrected in line
+    Transient,      ///< detected-uncorrectable transient; retry may clear
+    Unrecoverable,  ///< poisoned line; every attempt fails
+    Silent,         ///< flips beyond detection strength
+};
+
+/** Deterministic per-line fault injection and ECC classification. */
+class FaultModel
+{
+  public:
+    FaultModel(const FaultConfig &cfg, stats::StatRegistry &stats);
+
+    /**
+     * Route one completed 64B array write to @p image, possibly
+     * corrupting it. Detected-uncorrectable outcomes poison the line in
+     * @p image; a later clean full-line write heals it.
+     */
+    WriteOutcome applyWrite(MemoryImage &image, Addr addr,
+                            const std::uint8_t *data);
+
+    /**
+     * Classify one completed array read attempt of the line at
+     * @p addr. Transient/Unrecoverable outcomes ask the MC to retry
+     * (bounded); Corrected/Silent outcomes complete immediately.
+     */
+    ReadOutcome classifyRead(const MemoryImage &image, Addr addr);
+
+    /** Bounded-retry parameters for the MC. */
+    unsigned retryLimit() const { return _cfg.readRetryLimit; }
+    /** Backoff before retry number @p attempt (exponential, capped). */
+    Tick backoff(unsigned attempt) const;
+
+    /** Account one retry read and its backoff wait. */
+    void noteRetry(Tick backoff_cycles);
+    /**
+     * The MC gave up on the line at @p addr: poison it (graceful
+     * degradation — recovery will classify, never replay, its slots)
+     * and count the exhaustion.
+     */
+    void noteRetriesExhausted(MemoryImage &image, Addr addr);
+
+    /** Counter snapshot; @p image provides the live poisoned-line count. */
+    FaultStatsSummary summary(const MemoryImage &image) const;
+
+    const FaultConfig &config() const { return _cfg; }
+
+  private:
+    struct LineState
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t reads = 0;
+    };
+
+    /** Pure draw: hash of (seed, salt, line, ordinal). */
+    std::uint64_t draw(std::uint64_t salt, Addr line,
+                       std::uint64_t ordinal) const;
+    /** draw() folded to a uniform double in [0, 1). */
+    double drawUniform(std::uint64_t salt, Addr line,
+                       std::uint64_t ordinal) const;
+
+    FaultConfig _cfg;
+    std::unordered_map<Addr, LineState> _lines;
+
+    stats::Scalar _tornWrites;
+    stats::Scalar _wornWrites;
+    stats::Scalar _readFaults;
+    stats::Scalar _eccCorrected;
+    stats::Scalar _eccDetected;
+    stats::Scalar _silentFaults;
+    stats::Scalar _readRetries;
+    stats::Scalar _retryBackoff;
+    stats::Scalar _retriesExhausted;
+    stats::Scalar _linesPoisoned;
+};
+
+} // namespace faults
+} // namespace proteus
+
+#endif // PROTEUS_FAULTS_FAULT_MODEL_HH

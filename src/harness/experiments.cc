@@ -55,6 +55,10 @@ BenchOptions::parse(int argc, char **argv)
             opts.txStats = next();
         } else if (arg == "--tx-slowest") {
             opts.txSlowest = std::stoull(next());
+        } else if (arg == "--faults") {
+            opts.faults = faults::parseFaultSpec(next(), opts.faults);
+        } else if (arg == "--fault-seed") {
+            opts.faults.seed = std::stoull(next());
         } else if (arg == "--wl-spec") {
             opts.wlSpec = next();
         } else if (arg == "--wl-spec-file") {
@@ -91,6 +95,11 @@ BenchOptions::parse(int argc, char **argv)
                 << "summary (.json or .csv)\n"
                 << "  --tx-slowest K      retain full timelines for the "
                 << "K slowest transactions (default 8)\n"
+                << "  --faults SPEC       NVM media fault injection, "
+                << "e.g. torn=0.01,readflip=1e-4,\n"
+                << "                      endurance=1000,detect=8,"
+                << "correct=1 (default: off)\n"
+                << "  --fault-seed N      fault-draw seed (default 1)\n"
                 << "  --wl-spec k=v,...   generated-workload spec "
                 << "(see proteus-sim --list-workloads)\n"
                 << "  --wl-spec-file FILE base spec file; --wl-spec "
@@ -141,6 +150,7 @@ BenchOptions::makeConfig() const
             TraceEventSink::parseCategories(traceCategories);
     cfg.obs.txStats = txStats;
     cfg.obs.txSlowest = txSlowest;
+    cfg.faults = faults;
     for (const std::string &o : overrides)
         cfg.applyOverride(o);
     return cfg;
@@ -165,6 +175,7 @@ makeTxStatsRow(const BenchOptions &opts, LogScheme scheme,
                result.cpi.lockWait};
     if (result.txStats)
         row.summary = *result.txStats;
+    row.faults = result.faultStats;
     return row;
 }
 
@@ -236,8 +247,24 @@ writeJsonResults(const std::string &path,
            << ", \"branchRedirect\": " << r.cpi.branchRedirect
            << ", \"persistStall\": " << r.cpi.persistStall
            << ", \"wpqBackpressure\": " << r.cpi.wpqBackpressure
-           << ", \"lockWait\": " << r.cpi.lockWait << "}"
-           << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
+           << ", \"lockWait\": " << r.cpi.lockWait << "}";
+        // The faults block appears only when injection ran so default
+        // rows stay byte-identical to a faultless build.
+        if (r.faultStats.enabled) {
+            const auto &f = r.faultStats;
+            os << ", \"faults\": {"
+               << "\"tornWrites\": " << f.tornWrites
+               << ", \"wornWrites\": " << f.wornWrites
+               << ", \"readFaults\": " << f.readFaults
+               << ", \"eccCorrected\": " << f.eccCorrected
+               << ", \"eccDetected\": " << f.eccDetected
+               << ", \"silentFaults\": " << f.silentFaults
+               << ", \"readRetries\": " << f.readRetries
+               << ", \"retryBackoffCycles\": " << f.retryBackoffCycles
+               << ", \"retriesExhausted\": " << f.retriesExhausted
+               << ", \"poisonedLines\": " << f.poisonedLines << "}";
+        }
+        os << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
            << row.wallMs << std::defaultfloat << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_config.hh"
 #include "obs/tx_stats_io.hh"
 #include "system.hh"
 
@@ -47,12 +48,18 @@ struct BenchOptions
     std::string wlSpecFile;     ///< --wl-spec-file FILE (base spec)
     /// @}
 
+    /** NVM media fault injection (--faults SPEC / --fault-seed N);
+     *  disabled by default, in which case every output stays
+     *  bit-identical to a faultless build. */
+    faults::FaultConfig faults;
+
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
      *  --no-trace-cache, --no-cycle-skip,
      *  --stats-interval N, --stats-out FILE,
      *  --trace-events FILE, --trace-categories LIST,
      *  --tx-stats FILE, --tx-slowest K,
+     *  --faults SPEC, --fault-seed N,
      *  --wl-spec k=v,... and --wl-spec-file FILE.
      *  Validates numeric ranges (scale, init-scale, threads) before
      *  returning. Exits on --help. */

@@ -172,6 +172,8 @@ FullSystem::snapshotResult() const
     r.lltMissRate = llt_lookups
         ? static_cast<double>(llt_misses) / llt_lookups
         : 0.0;
+    if (const faults::FaultModel *fm = _mc->faultModel())
+        r.faultStats = fm->summary(_heap->nvmImage());
     return r;
 }
 

@@ -50,6 +50,9 @@ struct RunResult
     /** Flight-recorder summary (null unless the tx recorder ran);
      *  shared_ptr keeps RunResult cheap to copy through the runner. */
     std::shared_ptr<obs::TxStatsSummary> txStats;
+    /** Media fault/ECC/retry counters (enabled=false when fault
+     *  injection is off, and then omitted from every serialization). */
+    faults::FaultStatsSummary faultStats;
 };
 
 /** A fully wired simulated machine executing one workload. */

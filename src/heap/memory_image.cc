@@ -19,6 +19,7 @@ MemoryImage::operator=(const MemoryImage &other)
     _pages.reserve(other._pages.size());
     for (const auto &[index, page] : other._pages)
         _pages.emplace(index, std::make_unique<Page>(*page));
+    _poison = other._poison;
     return *this;
 }
 
@@ -62,6 +63,14 @@ MemoryImage::read(Addr addr, void *out, std::size_t n) const
 void
 MemoryImage::write(Addr addr, const void *src, std::size_t n)
 {
+    // A write covering a whole poisoned line re-establishes valid ECC.
+    if (!_poison.empty()) {
+        for (Addr line = blockAlign(addr); line + blockSize <= addr + n;
+             line += blockSize) {
+            if (line >= addr)
+                _poison.erase(line);
+        }
+    }
     const auto *from = static_cast<const std::uint8_t *>(src);
     while (n > 0) {
         const Addr page_index = pageBase(addr);
@@ -72,6 +81,14 @@ MemoryImage::write(Addr addr, const void *src, std::size_t n)
         addr += chunk;
         n -= chunk;
     }
+}
+
+std::vector<Addr>
+MemoryImage::poisonedLines() const
+{
+    std::vector<Addr> lines(_poison.begin(), _poison.end());
+    std::sort(lines.begin(), lines.end());
+    return lines;
 }
 
 std::vector<Addr>

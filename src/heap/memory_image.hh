@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hh"
@@ -89,7 +90,32 @@ class MemoryImage
     }
 
     /** Drop all contents. */
-    void clear() { _pages.clear(); }
+    void clear() { _pages.clear(); _poison.clear(); }
+
+    /// @name Media-fault poison tracking (64B line granularity)
+    /// @{
+    /**
+     * Mark the cache line containing @p addr as detected-uncorrectable
+     * (failed media ECC). Poison is metadata carried alongside the
+     * bytes: it travels through copies (crash images) and is cleared
+     * when write() fully overwrites the line, modeling a clean rewrite
+     * re-establishing valid ECC.
+     */
+    void markPoisoned(Addr addr) { _poison.insert(blockAlign(addr)); }
+
+    /** @return true if @p addr's line is marked poisoned. */
+    bool
+    isPoisoned(Addr addr) const
+    {
+        return !_poison.empty() && _poison.count(blockAlign(addr)) > 0;
+    }
+
+    /** @return number of currently poisoned lines. */
+    std::uint64_t poisonedCount() const { return _poison.size(); }
+
+    /** Poisoned line addresses, sorted for deterministic reporting. */
+    std::vector<Addr> poisonedLines() const;
+    /// @}
 
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
@@ -104,6 +130,9 @@ class MemoryImage
     const Page *peek(Addr page_index) const;
 
     std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+    /** Lines flagged detected-uncorrectable by the media fault model;
+     *  empty (and cost-free) unless fault injection is active. */
+    std::unordered_set<Addr> _poison;
 };
 
 } // namespace proteus

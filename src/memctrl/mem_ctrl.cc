@@ -66,11 +66,23 @@ MemCtrl::MemCtrl(Simulator &sim, const SystemConfig &cfg, MemoryImage &nvm)
     _logWriteRemoval = scheme == LogScheme::Proteus;
     ensureCore(cfg.cores ? cfg.cores - 1 : 0);
 
+    // The fault model (and its faults.* stats) exists only when fault
+    // injection is configured: the default run registers no extra
+    // stats and takes no extra branches on the write/read paths.
+    if (cfg.faults.enabled()) {
+        _faults = std::make_unique<faults::FaultModel>(
+            cfg.faults, sim.statsRegistry());
+    }
+
     if (TraceEventSink *ts = sim.trace()) {
         if (ts->wants(TraceCatMemCtrl)) {
             _traceSink = ts;
             _trkWpq = ts->defineTrack("mc.wpq");
             _trkLpq = ts->defineTrack("mc.lpq");
+        }
+        if (_faults && ts->wants(TraceCatFaults)) {
+            _faultSink = ts;
+            _trkFaults = ts->defineTrack("mc.faults");
         }
     }
 }
@@ -88,7 +100,11 @@ MemCtrl::ensureCore(CoreId core)
 bool
 MemCtrl::canAcceptRead() const
 {
-    return _readQ.size() + _inflightReads < _cfg.memCtrl.readQueueEntries;
+    // Reads waiting out a retry backoff keep their queue slot: they
+    // re-enter _readQ when the backoff expires, so handing the slot to
+    // a new request would overflow the structure.
+    return _readQ.size() + _inflightReads + _pendingRetries <
+           _cfg.memCtrl.readQueueEntries;
 }
 
 void
@@ -300,10 +316,27 @@ MemCtrl::txEnd(CoreId core, TxId tx)
             ++_markerWrites;
             _lpq.push_back(std::move(qw));
         } else {
-            // Extremely rare; apply directly and charge a write.
+            // Extremely rare; apply directly and charge a write. If the
+            // entry's own array write is still in flight, its completion
+            // would land *after* this point and overwrite the marker
+            // with the stale (no tx-end) payload — patch the in-flight
+            // bytes instead so the completion itself writes the marker.
             ++_markerWrites;
             const auto out = rec.toBytes();
-            _nvm.write(last.addr, out.data(), out.size());
+            bool patched = false;
+            for (auto &[seq, entry] : _inflightData) {
+                if (entry.first == last.addr) {
+                    std::copy(out.begin(), out.end(),
+                              entry.second.begin());
+                    patched = true;
+                }
+            }
+            if (!patched) {
+                if (_faults)
+                    _faults->applyWrite(_nvm, last.addr, out.data());
+                else
+                    _nvm.write(last.addr, out.data(), out.size());
+            }
         }
     }
 }
@@ -503,7 +536,8 @@ MemCtrl::empty() const
 {
     return _readQ.empty() && _wpq.empty() && _lpq.empty() &&
            _inflightReads == 0 && _inflightWrites == 0 &&
-           _inflightLogs == 0 && _atomTruncations.empty();
+           _inflightLogs == 0 && _pendingRetries == 0 &&
+           _atomTruncations.empty();
 }
 
 void
@@ -602,7 +636,23 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
         auto dit = _inflightData.find(seq);
         if (dit == _inflightData.end())
             panic("MemCtrl: completed write lost its in-flight data");
-        _nvm.write(addr, dit->second.second.data(), blockSize);
+        if (_faults) {
+            const auto out = _faults->applyWrite(
+                _nvm, addr, dit->second.second.data());
+            if (_faultSink && out != faults::WriteOutcome::Clean) {
+                const char *what =
+                    out == faults::WriteOutcome::Torn ? "torn-write"
+                    : out == faults::WriteOutcome::Corrected
+                        ? "worn-corrected"
+                    : out == faults::WriteOutcome::Uncorrectable
+                        ? "worn-uncorrectable"
+                        : "silent-corruption";
+                _faultSink->instant(TraceCatFaults, _trkFaults, what,
+                                    _sim.now());
+            }
+        } else {
+            _nvm.write(addr, dit->second.second.data(), blockSize);
+        }
         _inflightData.erase(dit);
         auto it = _inflightWriteAddrs.find(addr);
         if (it != _inflightWriteAddrs.end())
@@ -643,9 +693,49 @@ MemCtrl::tryIssueRead(Tick now)
     _readQ.erase(_readQ.begin() + static_cast<std::ptrdiff_t>(pick));
     ++_inflightReads;
     const Tick done = _dram.issue(r.addr, false, now);
+    const Addr raddr = r.addr;
+    const unsigned attempt = r.attempts;
     auto cb = std::move(r.onComplete);
-    _sim.events().schedule(done, [this, cb = std::move(cb)]() {
+    _sim.events().schedule(done, [this, raddr, attempt,
+                                  cb = std::move(cb)]() mutable {
         --_inflightReads;
+        if (_faults) {
+            const auto out = _faults->classifyRead(_nvm, raddr);
+            if (out == faults::ReadOutcome::Transient ||
+                out == faults::ReadOutcome::Unrecoverable) {
+                if (attempt < _faults->retryLimit()) {
+                    // Bounded retry with exponential backoff: the
+                    // request waits out the backoff, then re-enters the
+                    // read queue and pays a full array read again. The
+                    // backoff is a scheduled event, so cycle skipping
+                    // can never jump past it.
+                    const Tick back = _faults->backoff(attempt);
+                    _faults->noteRetry(back);
+                    if (_faultSink) {
+                        _faultSink->instant(TraceCatFaults, _trkFaults,
+                                            "read-retry", _sim.now());
+                    }
+                    ++_pendingRetries;
+                    _sim.schedule(back, [this, raddr, attempt,
+                                         cb = std::move(cb)]() mutable {
+                        --_pendingRetries;
+                        _poked = true;
+                        _readQ.push_back(PendingRead{
+                            raddr, std::move(cb), attempt + 1});
+                    });
+                    return;
+                }
+                // Graceful degradation: give up, poison the line, and
+                // complete anyway — consumers observe the failure via
+                // the poison mark (recovery classification) and the
+                // faults.retriesExhausted counter.
+                _faults->noteRetriesExhausted(_nvm, raddr);
+                if (_faultSink) {
+                    _faultSink->instant(TraceCatFaults, _trkFaults,
+                                        "retries-exhausted", _sim.now());
+                }
+            }
+        }
         if (cb)
             cb();
     });

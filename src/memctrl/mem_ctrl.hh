@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "dram/nvm_timing.hh"
+#include "faults/fault_model.hh"
 #include "heap/memory_image.hh"
 #include "logging/log_record.hh"
 #include "obs/tx_observer.hh"
@@ -171,6 +173,9 @@ class MemCtrl : public Ticked
 
     NvmTiming &dram() { return _dram; }
 
+    /** The media fault model, or nullptr when fault injection is off. */
+    const faults::FaultModel *faultModel() const { return _faults.get(); }
+
   private:
     struct QueuedWrite
     {
@@ -185,6 +190,9 @@ class MemCtrl : public Ticked
     {
         Addr addr;
         std::function<void()> onComplete;
+        /** Completed array reads of this request that failed ECC; the
+         *  bounded-retry loop re-enqueues with attempts + 1. */
+        unsigned attempts = 0;
     };
 
     struct AtomTxState
@@ -246,6 +254,12 @@ class MemCtrl : public Ticked
     std::string _name = "mc";
     MemoryImage &_nvm;
     NvmTiming _dram;
+    /** Media fault injection + ECC view; null when disabled, so the
+     *  default configuration pays nothing and stays bit-identical. */
+    std::unique_ptr<faults::FaultModel> _faults;
+    /** Reads waiting out a retry backoff (neither queued nor in
+     *  flight); they hold their read-queue slot against new arrivals. */
+    unsigned _pendingRetries = 0;
 
     std::deque<PendingRead> _readQ;
     std::deque<QueuedWrite> _wpq;
@@ -345,6 +359,10 @@ class MemCtrl : public Ticked
     TraceEventSink *_traceSink = nullptr;
     std::uint32_t _trkWpq = 0;
     std::uint32_t _trkLpq = 0;
+    /** Faults-category sink (instant events); null unless both fault
+     *  injection and the faults trace category are active. */
+    TraceEventSink *_faultSink = nullptr;
+    std::uint32_t _trkFaults = 0;
     /** Last emitted counter values; counters are emitted on change only
      *  to bound trace volume. -1 forces the first emission. */
     std::int64_t _lastWpqEmit = -1;

@@ -136,8 +136,21 @@ writeRow(std::ostream &os, const TxStatsRow &row)
        << ", \"mcIssued\": " << s.mcIssued
        << ", \"mcDropped\": " << s.mcDropped
        << ", \"nvmPersists\": " << s.nvmPersists
-       << ", \"postCommitPersists\": " << s.postCommitPersists << "}"
-       << ",\n     \"slotTotal\": ";
+       << ", \"postCommitPersists\": " << s.postCommitPersists << "}";
+    if (row.faults.enabled) {
+        const faults::FaultStatsSummary &f = row.faults;
+        os << ",\n     \"faults\": {\"tornWrites\": " << f.tornWrites
+           << ", \"wornWrites\": " << f.wornWrites
+           << ", \"readFaults\": " << f.readFaults
+           << ", \"eccCorrected\": " << f.eccCorrected
+           << ", \"eccDetected\": " << f.eccDetected
+           << ", \"silentFaults\": " << f.silentFaults
+           << ", \"readRetries\": " << f.readRetries
+           << ", \"retryBackoffCycles\": " << f.retryBackoffCycles
+           << ", \"retriesExhausted\": " << f.retriesExhausted
+           << ", \"poisonedLines\": " << f.poisonedLines << "}";
+    }
+    os << ",\n     \"slotTotal\": ";
     writeSlots(os, s.slotTotal);
     os << ",\n     \"slotInTx\": ";
     writeSlots(os, s.slotInTx);

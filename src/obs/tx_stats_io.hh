@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_config.hh"
 #include "obs/tx_tracker.hh"
 
 namespace proteus {
@@ -45,6 +46,9 @@ struct TxStatsRow
      *  the whole run. */
     std::array<std::uint64_t, numTxSlots> cpi{};
     TxStatsSummary summary;
+    /** Media fault counters; serialized (JSON only) when enabled, so
+     *  fault-free rows stay byte-identical to earlier versions. */
+    faults::FaultStatsSummary faults;
 };
 
 /** Write @p rows as {"version": 1, "rows": [...]} JSON. */

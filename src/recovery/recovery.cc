@@ -28,10 +28,20 @@ Recovery::scanLogContiguous(const MemoryImage &image, Addr log_start,
     LogScan scan;
     for (Addr slot = log_start; slot + logEntrySize <= log_end;
          slot += logEntrySize) {
+        ++scan.slotsScanned;
+        // The media ECC verdict outranks the parse: a poisoned slot may
+        // still decode as a plausible record, and replaying it would
+        // inject garbage. The writer fills this area contiguously, so
+        // the scan stops here either way.
+        if (image.isPoisoned(slot)) {
+            scan.truncated = true;
+            scan.poisonedSlots = 1;
+            scan.firstPoisonedSlot = slot;
+            break;
+        }
         std::uint8_t bytes[logEntrySize];
         image.read(slot, bytes, sizeof(bytes));
         const LogRecord rec = LogRecord::fromBytes(bytes);
-        ++scan.slotsScanned;
         if (!rec.valid()) {
             // First invalid slot: the writer fills this area from the
             // base, so nothing live can follow. A nonzero slot is a
@@ -55,10 +65,19 @@ Recovery::scanLogSparse(const MemoryImage &image, Addr log_start,
     LogScan scan;
     for (Addr slot = log_start; slot + logEntrySize <= log_end;
          slot += logEntrySize) {
+        ++scan.slotsScanned;
+        // Poison outranks the parse (see scanLogContiguous); in the
+        // circular areas valid records may follow holes, so classify
+        // the slot and keep scanning.
+        if (image.isPoisoned(slot)) {
+            ++scan.poisonedSlots;
+            if (scan.firstPoisonedSlot == invalidAddr)
+                scan.firstPoisonedSlot = slot;
+            continue;
+        }
         std::uint8_t bytes[logEntrySize];
         image.read(slot, bytes, sizeof(bytes));
         const LogRecord rec = LogRecord::fromBytes(bytes);
-        ++scan.slotsScanned;
         if (rec.valid()) {
             scan.records.push_back(rec);
         } else if (!isAllZero(bytes, sizeof(bytes))) {
@@ -103,6 +122,8 @@ Recovery::recoverProteus(MemoryImage &image, Addr log_start, Addr log_end)
     result.entriesScanned = records.size();
     result.tornSlot = scan.tornSlot;
     result.tornSlots = scan.tornSlots;
+    result.poisonedSlots = scan.poisonedSlots;
+    result.firstPoisonedSlot = scan.firstPoisonedSlot;
     if (records.empty())
         return result;
 
@@ -141,6 +162,8 @@ Recovery::recoverAtom(MemoryImage &image, Addr area_start, Addr area_end)
     result.entriesScanned = records.size();
     result.tornSlot = scan.tornSlot;
     result.tornSlots = scan.tornSlots;
+    result.poisonedSlots = scan.poisonedSlots;
+    result.firstPoisonedSlot = scan.firstPoisonedSlot;
 
     std::vector<LogRecord> live;
     TxId newest = 0;
@@ -177,6 +200,8 @@ Recovery::recoverSoftware(MemoryImage &image, Addr log_start,
     result.truncatedTail = scan.truncated;
     result.tornSlot = scan.tornSlot;
     result.tornSlots = scan.tornSlots;
+    result.poisonedSlots = scan.poisonedSlots;
+    result.firstPoisonedSlot = scan.firstPoisonedSlot;
 
     std::vector<LogRecord> live;
     for (const LogRecord &rec : records) {

@@ -43,6 +43,13 @@ struct RecoveryResult
     /** Torn slots seen; for the circular hardware areas these are
      *  skipped (valid records may follow holes) but still reported. */
     std::uint64_t tornSlots = 0;
+    /** Log slots the media fault layer marked detected-uncorrectable:
+     *  classified and skipped (the ECC mark — not the parse — decides;
+     *  a poisoned slot may still decode as a plausible record), never
+     *  replayed into the image. */
+    std::uint64_t poisonedSlots = 0;
+    /** First poisoned slot seen (invalidAddr if none). */
+    Addr firstPoisonedSlot = invalidAddr;
 };
 
 /** Stateless recovery routines operating on a crash image. */
@@ -57,6 +64,10 @@ class Recovery
         Addr tornSlot = invalidAddr;
         std::uint64_t tornSlots = 0;
         std::uint64_t slotsScanned = 0;
+        /** Detected-uncorrectable slots (media ECC poison); skipped,
+         *  counted, and never parsed into records. */
+        std::uint64_t poisonedSlots = 0;
+        Addr firstPoisonedSlot = invalidAddr;
     };
 
     /**

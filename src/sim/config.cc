@@ -125,6 +125,21 @@ SystemConfig::applyOverride(const std::string &spec)
     else if (key == "logging.logAreaBytes") logging.logAreaBytes = as_u64();
     else if (key == "logging.atomTruncationEntries")
         logging.atomTruncationEntries = static_cast<unsigned>(as_u64());
+    else if (key == "faults.tornWriteRate")
+        faults.tornWriteRate = as_double();
+    else if (key == "faults.readFlipRate")
+        faults.readFlipRate = as_double();
+    else if (key == "faults.enduranceWrites")
+        faults.enduranceWrites = as_u64();
+    else if (key == "faults.eccDetectBits")
+        faults.eccDetectBits = static_cast<unsigned>(as_u64());
+    else if (key == "faults.eccCorrectBits")
+        faults.eccCorrectBits = static_cast<unsigned>(as_u64());
+    else if (key == "faults.readRetryLimit")
+        faults.readRetryLimit = static_cast<unsigned>(as_u64());
+    else if (key == "faults.retryBackoffBase")
+        faults.retryBackoffBase = static_cast<unsigned>(as_u64());
+    else if (key == "faults.seed") faults.seed = as_u64();
     else if (key == "obs.traceRingEntries")
         obs.traceRingEntries = as_u64();
     else if (key == "obs.txSlowest")

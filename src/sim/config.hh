@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "faults/fault_config.hh"
 #include "types.hh"
 
 namespace proteus {
@@ -156,7 +157,7 @@ struct ObservabilityConfig
     Tick statsInterval = 0;         ///< cycles between samples; 0 = off
     std::string statsOut;           ///< interval time-series file
     std::string traceEvents;        ///< Chrome Trace Event JSON file
-    unsigned traceCategories = 0xf; ///< TraceCategory mask
+    unsigned traceCategories = 0x1f;    ///< TraceCategory mask
     /** Trace ring-buffer capacity in events (oldest dropped beyond). */
     std::uint64_t traceRingEntries = 1ull << 18;
     /** Transaction flight-recorder output file ("" = recorder off
@@ -180,6 +181,10 @@ struct SystemConfig
     MemCtrlConfig memCtrl;
     LoggingConfig logging;
     ObservabilityConfig obs;
+    /** NVM media fault injection; disabled (all-zero rates) by default,
+     *  in which case the MC builds no fault model and behavior is
+     *  bit-identical to a faultless build. */
+    faults::FaultConfig faults;
     std::uint64_t seed = 1;
     /**
      * Quiescence-driven cycle skipping in the simulation kernel. On by

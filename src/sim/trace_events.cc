@@ -136,6 +136,7 @@ TraceEventSink::categoryName(unsigned cat)
       case TraceCatMemCtrl: return "memctrl";
       case TraceCatLog:     return "log";
       case TraceCatLock:    return "lock";
+      case TraceCatFaults:  return "faults";
       default:              return "other";
     }
 }
@@ -157,11 +158,13 @@ TraceEventSink::parseCategories(const std::string &spec)
             mask |= TraceCatLog;
         else if (token == "lock")
             mask |= TraceCatLock;
+        else if (token == "faults")
+            mask |= TraceCatFaults;
         else if (token == "all")
             mask |= TraceCatAll;
         else
             fatal("unknown trace category: ", token,
-                  " (expected cpu, memctrl, log, lock, or all)");
+                  " (expected cpu, memctrl, log, lock, faults, or all)");
     }
     if (mask == 0)
         fatal("--trace-categories selected nothing");

@@ -45,7 +45,8 @@ enum TraceCategory : unsigned
     TraceCatMemCtrl = 1u << 1,  ///< WPQ/LPQ occupancy
     TraceCatLog     = 1u << 2,  ///< LogQ/LLT activity
     TraceCatLock    = 1u << 3,  ///< lock acquire/release
-    TraceCatAll     = 0xfu,
+    TraceCatFaults  = 1u << 4,  ///< media faults, ECC events, retries
+    TraceCatAll     = 0x1fu,
 };
 
 /** Bounded, per-run buffer of trace events with a JSON writer. */

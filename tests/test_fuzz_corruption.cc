@@ -228,3 +228,170 @@ TEST(FuzzRecovery, ScansAndUndoNeverCrashOnCorruptLogs)
         }
     }
 }
+
+namespace {
+
+/**
+ * Corrupt @p image the way the NVM media fault model does: whole
+ * 64B-line events — torn writes (8-byte chunks replaced by stale or
+ * garbage data), transient 1..2-bit flips, and ECC poison marks.
+ */
+void
+injectMediaShapedFaults(MemoryImage &image, Addr start,
+                        std::uint64_t lines, Random &rng)
+{
+    const std::uint64_t events = rng.nextRange(1, 8);
+    for (std::uint64_t i = 0; i < events; ++i) {
+        const Addr line = start + rng.nextBelow(lines) * blockSize;
+        switch (rng.nextBelow(3)) {
+          case 0: {    // torn line: some 8B chunks lost or garbled
+            std::uint8_t buf[blockSize];
+            image.read(line, buf, blockSize);
+            const std::uint64_t mask = rng.nextRange(1, 254);
+            for (unsigned c = 0; c < blockSize / 8; ++c) {
+                if (!(mask & (1ull << c)))
+                    continue;
+                for (unsigned b = 0; b < 8; ++b) {
+                    buf[c * 8 + b] = rng.nextBool(0.5)
+                        ? 0
+                        : static_cast<std::uint8_t>(rng.nextBelow(256));
+                }
+            }
+            image.write(line, buf, blockSize);
+            break;
+          }
+          case 1: {    // transient flip of 1..2 bits
+            const std::uint64_t flips = rng.nextRange(1, 2);
+            for (std::uint64_t f = 0; f < flips; ++f) {
+                const Addr at = line + rng.nextBelow(blockSize);
+                std::uint8_t byte = 0;
+                image.read(at, &byte, 1);
+                byte ^=
+                    static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                image.write(at, &byte, 1);
+            }
+            break;
+          }
+          default:    // detected-uncorrectable: ECC poison mark
+            image.markPoisoned(line);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TEST(FuzzRecovery, MediaFaultShapedCorruptionNeverCrashesOrReplays)
+{
+    constexpr Addr logStart = 0x1'4000'0000ull;
+    constexpr std::uint64_t slots = 24;
+    constexpr Addr logEnd = logStart + slots * logEntrySize;
+    constexpr Addr flagAddr = 0x4000'2000ull;
+
+    MemoryImage pristine;
+    writeLogArea(pristine, logStart, slots);
+    pristine.write64(flagAddr, 2);
+
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Random rng(seed * 0x94D049BB133111EBull);
+
+        MemoryImage image = pristine;
+        injectMediaShapedFaults(image, logStart, slots, rng);
+
+        const Recovery::LogScan sparse =
+            Recovery::scanLogSparse(image, logStart, logEnd);
+        EXPECT_EQ(sparse.slotsScanned, slots);
+        // Poisoned slots are classified, never parsed: the two sets
+        // partition the area with the invalid/torn remainder.
+        EXPECT_LE(sparse.records.size() + sparse.poisonedSlots, slots);
+        EXPECT_EQ(sparse.poisonedSlots, image.poisonedCount());
+        if (sparse.poisonedSlots > 0) {
+            EXPECT_NE(sparse.firstPoisonedSlot, invalidAddr);
+            EXPECT_TRUE(image.isPoisoned(sparse.firstPoisonedSlot));
+        }
+
+        const Recovery::LogScan contiguous =
+            Recovery::scanLogContiguous(image, logStart, logEnd);
+        EXPECT_LE(contiguous.records.size() + contiguous.poisonedSlots,
+                  slots);
+
+        for (int family = 0; family < 3; ++family) {
+            MemoryImage scratch = image;
+            RecoveryResult r;
+            switch (family) {
+              case 0:
+                r = Recovery::recoverProteus(scratch, logStart, logEnd);
+                break;
+              case 1:
+                r = Recovery::recoverAtom(scratch, logStart, logEnd);
+                break;
+              default:
+                r = Recovery::recoverSoftware(scratch, logStart, logEnd,
+                                              flagAddr);
+                break;
+            }
+            EXPECT_LE(r.entriesApplied, slots);
+            // Recovery only rewrites logged-from granules and log-area
+            // metadata; it must never clear a media poison mark.
+            for (Addr line : image.poisonedLines()) {
+                if (line >= logStart && line < logEnd)
+                    EXPECT_TRUE(scratch.isPoisoned(line));
+            }
+        }
+    }
+}
+
+TEST(FuzzPtrace, MediaFaultShapedCorruptionIsRejectedOrLoads)
+{
+    // Line-granular corruption of the snapshot payload — whole 64B
+    // spans torn or bit-flipped, as NVM media faults would shape them —
+    // must never crash the loader.
+    const std::vector<char> seed_bytes = recordSeedFile();
+    ASSERT_FALSE(seed_bytes.empty());
+    const std::string path = testing::TempDir() + "fuzz_media.ptrace";
+
+    unsigned rejected = 0;
+    unsigned survived = 0;
+    for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Random rng(seed * 0xD6E8FEB86659FD93ull);
+
+        std::vector<char> mutant = seed_bytes;
+        const std::uint64_t lines = mutant.size() / blockSize;
+        ASSERT_GT(lines, 0u);
+        const std::uint64_t events = rng.nextRange(1, 6);
+        for (std::uint64_t i = 0; i < events; ++i) {
+            const std::size_t at = rng.nextBelow(lines) * blockSize;
+            if (rng.nextBool(0.5)) {    // torn line
+                const std::uint64_t mask = rng.nextRange(1, 254);
+                for (unsigned c = 0; c < blockSize / 8; ++c) {
+                    if (mask & (1ull << c))
+                        std::memset(mutant.data() + at + c * 8, 0, 8);
+                }
+            } else {                    // 1..2-bit transient flip
+                mutant[at + rng.nextBelow(blockSize)] ^=
+                    static_cast<char>(1u << rng.nextBelow(8));
+            }
+        }
+        std::ofstream(path, std::ios::binary)
+            .write(mutant.data(),
+                   static_cast<std::streamsize>(mutant.size()));
+
+        try {
+            const auto bundle = loadTraceBundle(path);
+            ASSERT_NE(bundle, nullptr);
+            ++survived;
+        } catch (const FatalError &) {
+            ++rejected;
+        }
+        try {
+            verifyTraceFile(path);
+        } catch (const FatalError &) {
+        }
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(rejected + survived, 150u);
+    // Payload-section checksums must catch at least some line tears.
+    EXPECT_GT(rejected, 0u);
+}

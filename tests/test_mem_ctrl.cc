@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "faults/fault_config.hh"
 #include "memctrl/mem_ctrl.hh"
 #include "sim/logging.hh"
 
@@ -273,4 +274,141 @@ TEST(MemCtrl, FlushCoreLogsDrains)
     f.sim.runUntil([&]() { return done; }, 1000000);
     EXPECT_TRUE(done);
     EXPECT_EQ(f.mc->nvmWrites(), 1u);   // forced to NVM
+}
+
+TEST(MemCtrl, FullReadQueuePanicsAndCanAcceptGuards)
+{
+    McFixture f;
+    unsigned accepted = 0;
+    while (f.mc->canAcceptRead()) {
+        // Distinct unwritten blocks: no WPQ forwarding, all queue.
+        f.mc->read(0x200000 + accepted * 64, []() {});
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, f.cfg.memCtrl.readQueueEntries);
+    EXPECT_THROW(f.mc->read(0x9990000, []() {}), PanicError);
+    // The queue drains normally afterwards and frees its slots.
+    f.runUntilEmpty();
+    EXPECT_TRUE(f.mc->canAcceptRead());
+}
+
+TEST(MemCtrl, TxEndMarkerPatchesInflightLogWrite)
+{
+    // Regression: tx-end arrives when (a) the transaction's last log
+    // entry has already left the LPQ but its array write is still in
+    // flight, and (b) the LPQ is full so no marker entry can queue. The
+    // fallback must patch the in-flight payload — writing the NVM slot
+    // directly would be overwritten by the stale (no tx-end) completion.
+    McFixture f;
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    bool flushed = false;
+    f.mc->flushCoreLogs(0, [&]() { flushed = true; });
+    ASSERT_TRUE(f.sim.runUntil([&]() { return f.mc->nvmWrites() == 1; },
+                               100000));
+    ASSERT_FALSE(flushed);      // issued to the array, not yet persisted
+
+    // Fill the LPQ from another core so canAcceptWrite(Log) is false.
+    unsigned filled = 0;
+    while (f.mc->canAcceptWrite(WriteKind::Log)) {
+        f.mc->write(f.logWrite(0xA0000 + filled * 64, 1, 99,
+                               0x7000 + filled * 32, filled));
+        ++filled;
+    }
+    ASSERT_GT(filled, 0u);
+
+    f.mc->txEnd(0, 7);
+    EXPECT_DOUBLE_EQ(f.sim.statsRegistry().lookup("mc.markerWrites"),
+                     1.0);
+
+    ASSERT_TRUE(f.sim.runUntil([&]() { return flushed; }, 1000000));
+    std::uint8_t bytes[logEntrySize];
+    f.nvm.read(0x9000, bytes, sizeof(bytes));
+    const LogRecord rec = LogRecord::fromBytes(bytes);
+    ASSERT_TRUE(rec.valid());
+    EXPECT_TRUE(rec.committed());   // the completion carried the marker
+    EXPECT_EQ(rec.txId, 7u);
+}
+
+TEST(MemCtrl, TxEndMarkerDirectWriteWhenEntryAlreadyPersisted)
+{
+    // Same LPQ-full fallback, but the entry's write has fully completed:
+    // with nothing in flight for the slot the marker is applied to the
+    // array directly.
+    McFixture f;
+    f.mc->write(f.logWrite(0x9000, 0, 7, 0x5000, 0));
+    bool flushed = false;
+    f.mc->flushCoreLogs(0, [&]() { flushed = true; });
+    ASSERT_TRUE(f.sim.runUntil([&]() { return flushed; }, 1000000));
+
+    unsigned filled = 0;
+    while (f.mc->canAcceptWrite(WriteKind::Log)) {
+        f.mc->write(f.logWrite(0xA0000 + filled * 64, 1, 99,
+                               0x7000 + filled * 32, filled));
+        ++filled;
+    }
+    f.mc->txEnd(0, 7);
+
+    std::uint8_t bytes[logEntrySize];
+    f.nvm.read(0x9000, bytes, sizeof(bytes));
+    const LogRecord rec = LogRecord::fromBytes(bytes);
+    ASSERT_TRUE(rec.valid());
+    EXPECT_TRUE(rec.committed());
+    EXPECT_EQ(rec.txId, 7u);
+}
+
+TEST(MemCtrl, FlashClearWhileFaultedLogWriteInFlight)
+{
+    // LWR flash-clear racing a media fault: the transaction's first log
+    // entry is mid-flight to the array (and will tear on completion)
+    // when tx-end flash-clears the LPQ-resident rest. The torn line
+    // must be poisoned, the drops counted, and the controller must
+    // still drain cleanly.
+    Simulator sim;
+    SystemConfig cfg = baselineConfig();
+    cfg.logging.scheme = LogScheme::Proteus;
+    cfg.faults =
+        faults::parseFaultSpec("torn=1,detect=8,correct=1,seed=3");
+    MemoryImage nvm;
+    MemCtrl mc(sim, cfg, nvm);
+    sim.addTicked(&mc);
+
+    auto logWrite = [](Addr to, std::uint64_t seq) {
+        LogRecord rec;
+        rec.fromAddr = 0x5000 + seq * logDataSize;
+        rec.txId = 7;
+        rec.seq = seq;
+        rec.flags = LogRecord::flagValid;
+        rec.magic = LogRecord::magicValue;
+        WriteRequest req;
+        req.addr = to;
+        req.kind = WriteKind::Log;
+        req.core = 0;
+        req.txId = 7;
+        req.data = rec.toBytes();
+        return req;
+    };
+
+    mc.write(logWrite(0x9000, 0));
+    bool flushed = false;
+    mc.flushCoreLogs(0, [&]() { flushed = true; });
+    ASSERT_TRUE(sim.runUntil([&]() { return mc.nvmWrites() == 1; },
+                             100000));
+    ASSERT_FALSE(flushed);      // entry 0 in flight, about to tear
+
+    for (std::uint64_t seq = 1; seq <= 3; ++seq)
+        mc.write(logWrite(0x9000 + seq * 64, seq));
+    mc.txEnd(0, 7);     // drops seq 1..2, holds seq 3 as the marker
+    EXPECT_EQ(mc.droppedLogWrites(), 2u);
+
+    bool drained = false;
+    mc.flushCoreLogs(0, [&]() { drained = true; });
+    ASSERT_TRUE(sim.runUntil(
+        [&]() { return drained && mc.empty(); }, 1000000));
+
+    // Both array writes (entry 0, marker) tore and were ECC-detected.
+    EXPECT_DOUBLE_EQ(sim.statsRegistry().lookup("faults.tornWrites"),
+                     2.0);
+    EXPECT_TRUE(nvm.isPoisoned(0x9000));
+    EXPECT_TRUE(nvm.isPoisoned(0x90C0));
+    EXPECT_EQ(mc.nvmWrites(), 2u);
 }

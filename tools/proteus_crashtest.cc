@@ -66,6 +66,13 @@ usage()
         << "sharing cached bundles\n"
         << "  --no-cycle-skip    tick every cycle instead of skipping "
         << "quiescent spans (same results, slower)\n"
+        << "  --faults SPEC      NVM media fault injection, e.g.\n"
+        << "                     torn=0.01,readflip=1e-4,detect=8,"
+        << "correct=1\n"
+        << "                     (crash points with detected media loss\n"
+        << "                     pass as detected-unrecoverable; silent\n"
+        << "                     corruption always fails)\n"
+        << "  --fault-seed N     fault-draw seed (default 1)\n"
         << "  --break-recovery   testing hook: skip recovery (expect "
         << "violations)\n";
     return 2;
@@ -182,6 +189,11 @@ main(int argc, char **argv)
                 opts.useTraceCache = false;
             } else if (arg == "--no-cycle-skip") {
                 opts.cycleSkip = false;
+            } else if (arg == "--faults") {
+                opts.faults = faults::parseFaultSpec(value(),
+                                                     opts.faults);
+            } else if (arg == "--fault-seed") {
+                opts.faults.seed = std::stoull(value());
             } else if (arg == "--break-recovery") {
                 opts.breakRecovery = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -212,6 +224,9 @@ main(int argc, char **argv)
 
         std::cout << summary.crashPoints << " crash points, "
                   << summary.violations << " violations";
+        if (opts.faults.enabled())
+            std::cout << ", " << summary.detectedUnrecoverable
+                      << " detected-unrecoverable";
         if (!opts.jsonPath.empty())
             std::cout << " -> " << opts.jsonPath;
         std::cout << "\n"

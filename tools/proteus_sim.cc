@@ -59,6 +59,13 @@ usage()
         << "  --set k=v          config override\n"
         << "  --no-cycle-skip    tick every cycle instead of skipping "
         << "quiescent spans (same results, slower)\n"
+        << "  --faults SPEC      NVM media fault injection: comma list "
+        << "of torn=RATE,\n"
+        << "                     readflip=RATE, bits=N, endurance=N, "
+        << "stuck=N, detect=N,\n"
+        << "                     correct=N, retries=N, backoff=N, "
+        << "seed=N (default: off)\n"
+        << "  --fault-seed N     fault-draw seed (default 1)\n"
         << "  --wl-spec k=v,...  generated-workload spec (workload "
         << "'gen')\n"
         << "  --wl-spec-file F   spec file; --wl-spec overrides on "
@@ -139,6 +146,19 @@ printSummary(const RunResult &r)
               << "\n"
               << "LLT miss rate:      "
               << TablePrinter::fmt(100.0 * r.lltMissRate, 1) << "%\n";
+    // Printed only when injection is armed so default output stays
+    // byte-identical to a faultless run.
+    if (r.faultStats.enabled) {
+        const auto &f = r.faultStats;
+        std::cout << "media faults:       " << f.tornWrites << " torn, "
+                  << f.wornWrites << " worn, " << f.readFaults
+                  << " read; ECC " << f.eccCorrected << " corrected / "
+                  << f.eccDetected << " detected, " << f.readRetries
+                  << " retries (" << f.retriesExhausted
+                  << " exhausted), " << f.poisonedLines
+                  << " lines poisoned, " << f.silentFaults
+                  << " silent\n";
+    }
 }
 
 int
