@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The persist-edge event interface consumed by the persistency-order
+ * checker (src/analysis/persist_checker.hh).
+ *
+ * Core and MemCtrl hold a nullable PersistSink pointer — the same
+ * near-zero-cost pattern as obs::TxObserver — and invoke it at the
+ * points where a happens-before edge of the logging protocol is
+ * created or discharged: store retirement (program order), the tx-end
+ * durability point, fence retirement, memory-controller write
+ * acceptance (the ADR durability boundary), NVM array issue/persist,
+ * and the Proteus tx-end flash-clear/marker operations. Every hook
+ * carries the simulation tick of the instrumented event, so the
+ * recorded stream is bit-identical with quiescence cycle skipping on
+ * or off: none of these sites is per-cycle, and all fire only on
+ * executed ticks.
+ *
+ * The interface deliberately sits below every timing component (it
+ * depends only on sim/types.hh) so cpu and memctrl can emit edges
+ * without linking against the checker.
+ */
+
+#ifndef PROTEUS_ANALYSIS_PERSIST_SINK_HH
+#define PROTEUS_ANALYSIS_PERSIST_SINK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace proteus {
+namespace analysis {
+
+/** What happened to a tx-end marker at the memory controller. */
+enum class MarkerOp : std::uint8_t
+{
+    Held,       ///< latest LPQ entry flagged tx-end and retained
+    Rewritten,  ///< all entries had left; last entry re-queued with flag
+    Dropped,    ///< a successor tx's first entry retired the marker
+};
+
+/** Persist-edge hooks; default implementations ignore everything. */
+class PersistSink
+{
+  public:
+    virtual ~PersistSink() = default;
+
+    /// @name Core side (retirement boundaries, program order)
+    /// @{
+    /** A store retired. @p ordinal is the dynamic instruction sequence
+     *  number (the "store PC" of violation reports). */
+    virtual void storeRetired(CoreId, TxId, Addr, unsigned /*size*/,
+                              bool /*persistent*/,
+                              std::uint64_t /*ordinal*/, Tick)
+    {
+    }
+    /**
+     * A store left the store buffer toward the cache hierarchy. Only
+     * from this point on can its data reach the memory controller, so
+     * this — not retirement — is where the transaction becomes a
+     * visible writer of the granule for log-coverage purposes.
+     */
+    virtual void storeReleased(CoreId, TxId, Addr, unsigned /*size*/,
+                               std::uint64_t /*ordinal*/, Tick)
+    {
+    }
+    /** An sfence/mfence retired (all persists drained). */
+    virtual void fenceRetired(CoreId, Tick) {}
+    /**
+     * The durability point of a transaction: tx-end passed its
+     * scheme-specific retirement gate. Emitted before the core calls
+     * MemCtrl::txEnd, so flash-clear events are always observed after
+     * the durable-commit announcement they depend on.
+     */
+    virtual void durablePoint(CoreId, TxId, Tick) {}
+    /** A timing-level lock was released at retirement. */
+    virtual void lockReleased(CoreId, Addr, Tick) {}
+    /// @}
+
+    /// @name Memory-controller side
+    /// @{
+    /**
+     * A data (non-log) write was accepted into the WPQ — the ADR
+     * durability boundary. @p combined: absorbed into an existing WPQ
+     * entry by write combining (still newly durable data). @p data
+     * points at the 64B payload and is valid only during the call.
+     */
+    virtual void dataWriteAccepted(CoreId, TxId, Addr, std::uint64_t /*seq*/,
+                                   bool /*combined*/,
+                                   const std::uint8_t * /*data*/, Tick)
+    {
+    }
+    /**
+     * A log write (Proteus LPQ entry or ATOM WPQ log entry) was
+     * accepted. @p granule is the 32B data granule the record covers
+     * (LogRecord::fromAddr, log-aligned); @p lpq distinguishes the
+     * Proteus LPQ from ATOM's WPQ-resident entries.
+     */
+    virtual void logWriteAccepted(CoreId, TxId, Addr /*slot*/,
+                                  Addr /*granule*/,
+                                  std::uint64_t /*recSeq*/, bool /*lpq*/,
+                                  Tick)
+    {
+    }
+    /** A queued write was issued to the NVM array. @p seq is its
+     *  acceptance sequence number (FIFO-per-address witness). */
+    virtual void nvmWriteIssued(bool /*lpq*/, Addr, std::uint64_t /*seq*/,
+                                Tick)
+    {
+    }
+    /** A write's data reached the NVM array. */
+    virtual void nvmWritePersisted(bool /*lpq*/, Addr,
+                                   std::uint64_t /*seq*/, Tick)
+    {
+    }
+    /** @p n LPQ entries of (core, tx) were flash-cleared at tx-end. */
+    virtual void lpqFlashCleared(CoreId, TxId, std::uint64_t /*n*/, Tick)
+    {
+    }
+    /** A tx-end marker operation (Section 4.3). */
+    virtual void txEndMarker(CoreId, TxId, MarkerOp, Tick) {}
+    /// @}
+};
+
+} // namespace analysis
+} // namespace proteus
+
+#endif // PROTEUS_ANALYSIS_PERSIST_SINK_HH

@@ -965,6 +965,10 @@ Core::doRetire(DynInst &inst, Tick now)
         entry.tx = _retireTxId;
         entry.persistent = mop.persistent;
         _storeBuffer.push_back(entry);
+        if (_pSink) {
+            _pSink->storeRetired(_id, _retireTxId, mop.addr, mop.size,
+                                 mop.persistent, inst.seq, now);
+        }
         break;
       }
       case Op::ClWb: {
@@ -992,6 +996,10 @@ Core::doRetire(DynInst &inst, Tick now)
       case Op::TxEnd: {
         const TxId tx = mop.data;
         _retireTxId = 0;
+        // The durability point precedes MemCtrl::txEnd so flash-clear
+        // events always follow the durable-commit announcement.
+        if (_pSink)
+            _pSink->durablePoint(_id, tx, now);
         if (_scheme == LogScheme::Proteus ||
             _scheme == LogScheme::ProteusNoLWR) {
             _mc.txEnd(_id, tx);
@@ -1018,6 +1026,14 @@ Core::doRetire(DynInst &inst, Tick now)
       }
       case Op::LockRelease:
         _locks.release(mop.addr, _id);
+        if (_pSink)
+            _pSink->lockReleased(_id, mop.addr, now);
+        break;
+      case Op::SFence:
+      case Op::MFence:
+      case Op::PCommit:
+        if (_pSink)
+            _pSink->fenceRetired(_id, now);
         break;
       default:
         break;
@@ -1163,6 +1179,10 @@ Core::releaseStoreBuffer(Tick now)
         ++_outstandingPerBlock[block];
         if (_isHwScheme && entry.tx != 0 && entry.persistent)
             markAutoFlush(block);
+        if (_pSink) {
+            _pSink->storeReleased(_id, entry.tx, entry.addr, entry.size,
+                                  entry.seq, now);
+        }
         _storeBuffer.pop_front();
     }
 }

@@ -42,6 +42,7 @@
 #include "branch_predictor.hh"
 #include "cache/hierarchy.hh"
 #include "isa/trace.hh"
+#include "analysis/persist_sink.hh"
 #include "lock_manager.hh"
 #include "logging/llt.hh"
 #include "logging/log_queue.hh"
@@ -157,6 +158,14 @@ class Core : public Ticked
      * when no observer is attached every site is one null check.
      */
     void setTxObserver(obs::TxObserver *obs) { _txObs = obs; }
+
+    /**
+     * Attach a persist-edge sink for the persistency-order checker
+     * (nullptr detaches). Hooks fire at store/fence retirement, store
+     * buffer release, the tx-end durability gate, and lock release;
+     * when no sink is attached every site is one null check.
+     */
+    void setPersistSink(analysis::PersistSink *sink) { _pSink = sink; }
 
     std::uint64_t retiredOps() const
     {
@@ -346,6 +355,7 @@ class Core : public Ticked
     Tick _phaseStart = 0;
     Tick _txStartTick = 0;
     obs::TxObserver *_txObs = nullptr;
+    analysis::PersistSink *_pSink = nullptr;
     /** Bucket the last accounted tick landed in, replayed (with the
      *  live _retireTxId) for skipped quiescent spans so per-tx slot
      *  attribution is bit-identical with cycle skipping on or off. */

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "harness/check_runner.hh"
 #include "harness/trace_cache.hh"
 #include "sim/json_util.hh"
 #include "sim/logging.hh"
@@ -368,17 +369,40 @@ runPair(const CrashTestOptions &opts, LogScheme scheme,
 
     // Reference run: the pair's total cycle count anchors the stride
     // and the fuzz range (and validates the configuration end to end).
+    // With --check the persistency-order checker rides on it; ordering
+    // violations fail the pair just like oracle violations do.
     {
+        SystemConfig ref_cfg = cfg;
+        if (opts.check) {
+            ref_cfg.analysis.check = true;
+            std::ostringstream repro;
+            repro << "proteus-check run " << toString(kind)
+                  << " --scheme " << toString(scheme) << " --seed "
+                  << opts.seed << " --threads " << opts.threads
+                  << " --scale " << opts.scale << " --init-scale "
+                  << opts.initScale;
+            ref_cfg.analysis.repro = repro.str();
+        }
         std::unique_ptr<FullSystem> reference;
         if (bundle)
-            reference = std::make_unique<FullSystem>(cfg, bundle);
+            reference = std::make_unique<FullSystem>(ref_cfg, bundle);
         else
             reference = std::make_unique<FullSystem>(
-                cfg, kind, params, WorkloadExtras{{}, opts.gen});
+                ref_cfg, kind, params, WorkloadExtras{{}, opts.gen});
         const RunResult full = reference->run(runCycleLimit);
         if (!full.finished)
             fatal("crashtest: reference run hit the cycle limit");
         pair.totalCycles = full.cycles;
+        if (opts.check && full.check && !full.check->pass()) {
+            pair.checkViolations = full.check->totalViolations;
+            pair.violations += full.check->totalViolations;
+            CheckRow row;
+            row.scheme = scheme;
+            row.kind = kind;
+            row.run = full;
+            row.outcome = *full.check;
+            pair.failureReports.push_back(formatCheckReport(row));
+        }
     }
 
     const std::vector<Tick> cycles =
@@ -448,6 +472,10 @@ writeJson(const std::string &path, const CrashTestOptions &opts,
            << summary.detectedUnrecoverable << ",\n";
     }
     os << "  \"crashPoints\": " << summary.crashPoints << ",\n";
+    // Only with --check armed, so default JSON stays byte-identical.
+    if (opts.check)
+        os << "  \"checkViolations\": " << summary.checkViolations
+           << ",\n";
     os << "  \"violations\": " << summary.violations << ",\n";
     os << "  \"ok\": " << (summary.ok ? "true" : "false") << ",\n";
     os << "  \"rows\": [";
@@ -526,6 +554,7 @@ runCrashTests(const CrashTestOptions &opts, std::ostream &os)
     for (const CrashPairResult &pair : summary.pairs) {
         summary.crashPoints += pair.points.size();
         summary.violations += pair.violations;
+        summary.checkViolations += pair.checkViolations;
         summary.detectedUnrecoverable += pair.detectedUnrecoverable;
         for (const std::string &report : pair.failureReports)
             os << report;

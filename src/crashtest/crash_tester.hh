@@ -70,6 +70,9 @@ struct CrashTestOptions
      */
     bool breakRecovery = false;
     bool checkSerialization = true; ///< committed-prefix replay compare
+    /** Arm the persistency-order checker (src/analysis) on each pair's
+     *  reference run; ordering violations count against the pair. */
+    bool check = false;
     /**
      * Share TraceBundles through the process-global TraceCache: the
      * reference run and the crash-injected run of each pair reuse one
@@ -130,6 +133,8 @@ struct CrashPairResult
     std::uint64_t totalTxs = 0;         ///< recorded transactions
     std::vector<CrashPointResult> points;
     std::uint64_t violations = 0;       ///< oracle + invariant + serialize
+    /** Persistency-order violations on the reference run (--check). */
+    std::uint64_t checkViolations = 0;
     /** Crash points verdicted detectedUnrecoverable (media loss). */
     std::uint64_t detectedUnrecoverable = 0;
     std::vector<std::string> failureReports;    ///< human-readable
@@ -143,6 +148,8 @@ struct CrashTestSummary
     std::vector<CrashPairResult> pairs;
     std::uint64_t crashPoints = 0;
     std::uint64_t violations = 0;
+    /** Persistency-order violations across reference runs (--check). */
+    std::uint64_t checkViolations = 0;
     /** Crash points with acceptable detected-unrecoverable media loss. */
     std::uint64_t detectedUnrecoverable = 0;
     bool ok = true;

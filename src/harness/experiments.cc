@@ -7,6 +7,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "harness/check_runner.hh"
 #include "harness/trace_cache.hh"
 #include "sim/logging.hh"
 
@@ -59,6 +60,11 @@ BenchOptions::parse(int argc, char **argv)
             opts.faults = faults::parseFaultSpec(next(), opts.faults);
         } else if (arg == "--fault-seed") {
             opts.faults.seed = std::stoull(next());
+        } else if (arg == "--check") {
+            opts.check = true;
+        } else if (arg == "--check-mutate") {
+            opts.check = true;
+            opts.checkMutate = std::stol(next());
         } else if (arg == "--wl-spec") {
             opts.wlSpec = next();
         } else if (arg == "--wl-spec-file") {
@@ -100,6 +106,14 @@ BenchOptions::parse(int argc, char **argv)
                 << "                      endurance=1000,detect=8,"
                 << "correct=1 (default: off)\n"
                 << "  --fault-seed N      fault-draw seed (default 1)\n"
+                << "  --check             arm the persistency-order "
+                << "checker; any ordering\n"
+                << "                      violation fails the run "
+                << "(see proteus-check)\n"
+                << "  --check-mutate N    seeded mutation campaign: "
+                << "every armed rule must\n"
+                << "                      catch one injected violation "
+                << "(implies --check)\n"
                 << "  --wl-spec k=v,...   generated-workload spec "
                 << "(see proteus-sim --list-workloads)\n"
                 << "  --wl-spec-file FILE base spec file; --wl-spec "
@@ -187,6 +201,10 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
     cfg.logging.scheme = scheme;
     // PMEM+pcommit models the pre-ADR persistency domain.
     cfg.memCtrl.adr = scheme != LogScheme::PMEMPCommit;
+    if (opts.check) {
+        cfg.analysis.check = true;
+        cfg.analysis.repro = checkReproLine(scheme, kind, opts);
+    }
 
     WorkloadParams params;
     params.threads = opts.threads;
@@ -203,11 +221,26 @@ runExperiment(SystemConfig cfg, LogScheme scheme, WorkloadKind kind,
         key.params = params;
         key.llOpts = extras.ll;
         key.gen = extras.gen;
-        FullSystem system(cfg, TraceCache::global().get(key));
+        // Checked runs need the write history so the software schemes
+        // arm LogBeforeData too (undo-logged vs. storeInit stores).
+        FullSystem system(
+            cfg, TraceCache::global().get(key,
+                                          /*want_history=*/opts.check));
         result = system.run();
     } else {
         FullSystem system(cfg, kind, params, extras);
         result = system.run();
+    }
+    if (opts.check && result.check && !result.check->pass()) {
+        CheckRow row;
+        row.scheme = scheme;
+        row.kind = kind;
+        row.run = result;
+        row.outcome = *result.check;
+        std::cerr << formatCheckReport(row);
+        fatal("persistency-order check failed under ", toString(scheme),
+              " / ", toString(kind), ": ",
+              result.check->totalViolations, " violation(s)");
     }
     // Single-run tx-stats file. Batches route through the parallel
     // runner, which clears the per-job path and lets runBatch combine

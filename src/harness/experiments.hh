@@ -53,13 +53,19 @@ struct BenchOptions
      *  bit-identical to a faultless build. */
     faults::FaultConfig faults;
 
+    /// @name Persistency-order checking (src/analysis)
+    /// @{
+    bool check = false;     ///< --check: arm the online order checker
+    long checkMutate = -1;  ///< --check-mutate N: campaign seed (-1 off)
+    /// @}
+
     /** Parse argv; recognizes --scale N, --threads N, --jobs N,
      *  --seed N, --dram, --json FILE, --set key=value,
      *  --no-trace-cache, --no-cycle-skip,
      *  --stats-interval N, --stats-out FILE,
      *  --trace-events FILE, --trace-categories LIST,
      *  --tx-stats FILE, --tx-slowest K,
-     *  --faults SPEC, --fault-seed N,
+     *  --faults SPEC, --fault-seed N, --check, --check-mutate N,
      *  --wl-spec k=v,... and --wl-spec-file FILE.
      *  Validates numeric ranges (scale, init-scale, threads) before
      *  returning. Exits on --help. */

@@ -20,7 +20,10 @@ FullSystem::FullSystem(const SystemConfig &cfg, WorkloadKind kind,
     key.params = params;
     key.llOpts = extras.ll;
     key.gen = extras.gen;
-    auto bundle = TraceBundle::build(key, trace_observer);
+    // The checker needs the write history to classify store kinds for
+    // the software schemes' LogBeforeData rule.
+    auto bundle = TraceBundle::build(key, trace_observer,
+                                     /*want_history=*/cfg.analysis.check);
 
     // The bundle is private to this system, so its heap can be mutated
     // in place — exactly the pre-bundle behavior, with no image copy.
@@ -110,6 +113,54 @@ FullSystem::wire()
         for (auto &core : _cores)
             core->setTxObserver(_txTracker.get());
     }
+
+    // The persistency-order checker taps both the flight-recorder
+    // stream (shared with the tracker through a fanout) and the
+    // persist-edge stream. In mutation mode a StreamMutator interposes
+    // on both so the checker must catch the injected violation.
+    if (_cfg.analysis.check) {
+        _checker = std::make_unique<analysis::PersistChecker>(
+            _cfg.logging.scheme, _cfg.memCtrl.adr, _cfg.analysis.repro);
+        for (unsigned t = 0; t < _cfg.cores; ++t) {
+            const TraceBundle::ThreadTrace &tt = _bundle->threads[t];
+            _checker->addLogArea(tt.logStart, tt.logEnd,
+                                 static_cast<CoreId>(t));
+            _checker->addLogArea(_atomAreas[t].first,
+                                 _atomAreas[t].second,
+                                 static_cast<CoreId>(t));
+        }
+        if (_bundle->history)
+            _checker->bindWriteHistory(*_bundle->history);
+
+        obs::TxObserver *tx_obs = _checker.get();
+        analysis::PersistSink *sink = _checker.get();
+        if (_cfg.analysis.mutateRule >= 0 &&
+            static_cast<unsigned>(_cfg.analysis.mutateRule) <
+                analysis::numRules) {
+            _mutator = std::make_unique<analysis::StreamMutator>(
+                static_cast<analysis::Rule>(_cfg.analysis.mutateRule),
+                _cfg.analysis.mutateSeed, *_checker);
+            for (unsigned t = 0; t < _cfg.cores; ++t) {
+                const TraceBundle::ThreadTrace &tt = _bundle->threads[t];
+                _mutator->addLogArea(tt.logStart, tt.logEnd);
+                _mutator->addLogArea(_atomAreas[t].first,
+                                     _atomAreas[t].second);
+            }
+            tx_obs = _mutator.get();
+            sink = _mutator.get();
+        }
+        if (_txTracker) {
+            _obsFanout = std::make_unique<obs::TxObserverFanout>(
+                _txTracker.get(), tx_obs);
+            tx_obs = _obsFanout.get();
+        }
+        _mc->setTxObserver(tx_obs);
+        for (auto &core : _cores)
+            core->setTxObserver(tx_obs);
+        _mc->setPersistSink(sink);
+        for (auto &core : _cores)
+            core->setPersistSink(sink);
+    }
 }
 
 FullSystem::~FullSystem()
@@ -190,6 +241,10 @@ FullSystem::run(Tick max_cycles)
     if (_txTracker) {
         r.txStats = std::make_shared<obs::TxStatsSummary>(
             _txTracker->summary());
+    }
+    if (_checker) {
+        r.check = std::make_shared<analysis::CheckOutcome>(
+            _checker->outcome());
     }
     finishObservability();
     return r;

@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/persist_checker.hh"
+#include "analysis/stream_mutator.hh"
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "cpu/lock_manager.hh"
@@ -53,6 +55,8 @@ struct RunResult
     /** Media fault/ECC/retry counters (enabled=false when fault
      *  injection is off, and then omitted from every serialization). */
     faults::FaultStatsSummary faultStats;
+    /** Persistency-order checker verdict (null unless analysis.check). */
+    std::shared_ptr<analysis::CheckOutcome> check;
 };
 
 /** A fully wired simulated machine executing one workload. */
@@ -138,6 +142,10 @@ class FullSystem
     IntervalStatsSampler *sampler() { return _sampler.get(); }
     /** Transaction flight recorder (null unless obs.txStats/txTrack). */
     obs::TxTracker *txTracker() { return _txTracker.get(); }
+    /** Persistency-order checker (null unless analysis.check). */
+    analysis::PersistChecker *checker() { return _checker.get(); }
+    /** Stream mutator (null unless analysis.mutateRule targets one). */
+    analysis::StreamMutator *mutator() { return _mutator.get(); }
 
     /** Flush observability outputs (idempotent; run() also does this). */
     void finishObservability();
@@ -159,6 +167,9 @@ class FullSystem
     std::unique_ptr<TraceEventSink> _traceSink;
     std::unique_ptr<IntervalStatsSampler> _sampler;
     std::unique_ptr<obs::TxTracker> _txTracker;
+    std::unique_ptr<analysis::PersistChecker> _checker;
+    std::unique_ptr<analysis::StreamMutator> _mutator;
+    std::unique_ptr<obs::TxObserverFanout> _obsFanout;
     std::unique_ptr<MemCtrl> _mc;
     std::unique_ptr<CacheHierarchy> _caches;
     std::unique_ptr<LockManager> _locks;

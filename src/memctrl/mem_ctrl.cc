@@ -154,6 +154,13 @@ MemCtrl::write(const WriteRequest &req)
         ++_logWritesAccepted;
         const LogRecord rec = LogRecord::fromBytes(req.data.data());
         recordLogDurable(req.core, req.txId, logAlign(rec.fromAddr));
+        if (_pSink) {
+            _pSink->logWriteAccepted(req.core, req.txId, req.addr,
+                                     logAlign(rec.fromAddr), rec.seq,
+                                     req.kind == WriteKind::Log &&
+                                         _useLpq,
+                                     _sim.now());
+        }
         if (req.kind == WriteKind::Log) {
             noteLogArrival(req.core, req.txId);
             ensureCore(req.core);
@@ -189,6 +196,13 @@ MemCtrl::write(const WriteRequest &req)
             w.req.kind = req.kind;
             w.req.core = req.core;
             w.req.txId = req.txId;
+            // The combined data is newly durable even though no new
+            // queue entry was created.
+            if (_pSink && req.kind == WriteKind::Data) {
+                _pSink->dataWriteAccepted(req.core, req.txId, req.addr,
+                                          w.seq, /*combined=*/true,
+                                          req.data.data(), _sim.now());
+            }
             return;
         }
     }
@@ -198,6 +212,11 @@ MemCtrl::write(const WriteRequest &req)
     // only a genuinely new WPQ entry counts as queued.
     if (_txObs)
         _txObs->mcQueued(req.core, req.txId, false, _sim.now());
+    if (_pSink && req.kind == WriteKind::Data) {
+        _pSink->dataWriteAccepted(req.core, req.txId, req.addr, qw.seq,
+                                  /*combined=*/false, req.data.data(),
+                                  _sim.now());
+    }
     _wpq.push_back(std::move(qw));
 }
 
@@ -215,6 +234,11 @@ MemCtrl::noteLogArrival(CoreId core, TxId tx)
     for (auto it = _lpq.begin(); it != _lpq.end(); ++it) {
         if (it->marker && it->req.core == core && it->req.txId != tx) {
             ++_markersDropped;
+            if (_pSink) {
+                _pSink->txEndMarker(core, it->req.txId,
+                                    analysis::MarkerOp::Dropped,
+                                    _sim.now());
+            }
             if (_logWriteRemoval)
                 _lpq.erase(it);
             else
@@ -269,6 +293,10 @@ MemCtrl::txEnd(CoreId core, TxId tx)
         std::copy(bytes.begin(), bytes.end(),
                   _lpq[latest].req.data.begin());
         _lpq[latest].marker = true;
+        if (_pSink) {
+            _pSink->txEndMarker(core, tx, analysis::MarkerOp::Held,
+                                _sim.now());
+        }
 
         if (_logWriteRemoval) {
             std::uint64_t dropped = 0;
@@ -286,6 +314,8 @@ MemCtrl::txEnd(CoreId core, TxId tx)
             _lpq.swap(kept);
             if (_txObs && dropped)
                 _txObs->mcDropped(core, tx, dropped, _sim.now());
+            if (_pSink && dropped)
+                _pSink->lpqFlashCleared(core, tx, dropped, _sim.now());
         }
         return;
     }
@@ -315,6 +345,11 @@ MemCtrl::txEnd(CoreId core, TxId tx)
             qw.marker = true;
             ++_markerWrites;
             _lpq.push_back(std::move(qw));
+            if (_pSink) {
+                _pSink->txEndMarker(core, tx,
+                                    analysis::MarkerOp::Rewritten,
+                                    _sim.now());
+            }
         } else {
             // Extremely rare; apply directly and charge a write. If the
             // entry's own array write is still in flight, its completion
@@ -336,6 +371,11 @@ MemCtrl::txEnd(CoreId core, TxId tx)
                     _faults->applyWrite(_nvm, last.addr, out.data());
                 else
                     _nvm.write(last.addr, out.data(), out.size());
+            }
+            if (_pSink) {
+                _pSink->txEndMarker(core, tx,
+                                    analysis::MarkerOp::Rewritten,
+                                    _sim.now());
             }
         }
     }
@@ -616,6 +656,8 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
         _txObs->mcIssued(req_core, req_tx, is_log_queue, w.acceptedAt,
                          now);
     }
+    if (_pSink)
+        _pSink->nvmWriteIssued(is_log_queue, addr, seq, now);
     if (!is_log_queue && w.req.kind == WriteKind::AtomLog)
         --_atomLogsQueued;
     if (is_log_queue) {
@@ -666,6 +708,8 @@ MemCtrl::issueWriteEntry(std::deque<QueuedWrite> &queue, std::size_t idx,
             _txObs->nvmPersisted(req_core, req_tx, is_log_queue,
                                  _sim.now());
         }
+        if (_pSink)
+            _pSink->nvmWritePersisted(is_log_queue, addr, seq, _sim.now());
     });
 }
 

@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/persist_sink.hh"
 #include "dram/nvm_timing.hh"
 #include "faults/fault_model.hh"
 #include "heap/memory_image.hh"
@@ -170,6 +171,14 @@ class MemCtrl : public Ticked
      * acceptedAt is meaningless and they carry no payload write).
      */
     void setTxObserver(obs::TxObserver *obs) { _txObs = obs; }
+
+    /**
+     * Attach a persist-edge sink for the persistency-order checker
+     * (nullptr detaches). Hooks fire on write acceptance (the ADR
+     * durability boundary), NVM array issue/persist, and the tx-end
+     * flash-clear / marker operations of Section 4.3.
+     */
+    void setPersistSink(analysis::PersistSink *sink) { _pSink = sink; }
 
     NvmTiming &dram() { return _dram; }
 
@@ -353,6 +362,7 @@ class MemCtrl : public Ticked
     /// @}
 
     obs::TxObserver *_txObs = nullptr;
+    analysis::PersistSink *_pSink = nullptr;
 
     /// @name Trace-event output (memctrl category)
     /// @{

@@ -110,6 +110,127 @@ class TxObserver
     /// @}
 };
 
+/**
+ * Fans one observer stream out to two observers (either may be null):
+ * lets the flight recorder and the persistency-order checker watch the
+ * same machine simultaneously.
+ */
+class TxObserverFanout : public TxObserver
+{
+  public:
+    TxObserverFanout(TxObserver *a, TxObserver *b) : _a(a), _b(b) {}
+
+    void
+    txBegin(CoreId core, TxId tx, Tick now) override
+    {
+        if (_a)
+            _a->txBegin(core, tx, now);
+        if (_b)
+            _b->txBegin(core, tx, now);
+    }
+    void
+    txCommit(CoreId core, TxId tx, Tick now) override
+    {
+        if (_a)
+            _a->txCommit(core, tx, now);
+        if (_b)
+            _b->txCommit(core, tx, now);
+    }
+    void
+    txRollback(CoreId core, TxId tx, Tick now) override
+    {
+        if (_a)
+            _a->txRollback(core, tx, now);
+        if (_b)
+            _b->txRollback(core, tx, now);
+    }
+    void
+    lockRequested(CoreId core, TxId tx, Addr addr, Tick now) override
+    {
+        if (_a)
+            _a->lockRequested(core, tx, addr, now);
+        if (_b)
+            _b->lockRequested(core, tx, addr, now);
+    }
+    void
+    lockGranted(CoreId core, TxId tx, Addr addr, Tick now) override
+    {
+        if (_a)
+            _a->lockGranted(core, tx, addr, now);
+        if (_b)
+            _b->lockGranted(core, tx, addr, now);
+    }
+    void
+    logCreated(CoreId core, TxId tx, Tick now) override
+    {
+        if (_a)
+            _a->logCreated(core, tx, now);
+        if (_b)
+            _b->logCreated(core, tx, now);
+    }
+    void
+    logFiltered(CoreId core, TxId tx, Tick now) override
+    {
+        if (_a)
+            _a->logFiltered(core, tx, now);
+        if (_b)
+            _b->logFiltered(core, tx, now);
+    }
+    void
+    logAcked(CoreId core, TxId tx, Tick created_at, Tick now) override
+    {
+        if (_a)
+            _a->logAcked(core, tx, created_at, now);
+        if (_b)
+            _b->logAcked(core, tx, created_at, now);
+    }
+    void
+    commitSlot(CoreId core, TxId tx, TxSlot slot, std::uint64_t n) override
+    {
+        if (_a)
+            _a->commitSlot(core, tx, slot, n);
+        if (_b)
+            _b->commitSlot(core, tx, slot, n);
+    }
+    void
+    mcQueued(CoreId core, TxId tx, bool lpq, Tick now) override
+    {
+        if (_a)
+            _a->mcQueued(core, tx, lpq, now);
+        if (_b)
+            _b->mcQueued(core, tx, lpq, now);
+    }
+    void
+    mcIssued(CoreId core, TxId tx, bool lpq, Tick accepted_at,
+             Tick now) override
+    {
+        if (_a)
+            _a->mcIssued(core, tx, lpq, accepted_at, now);
+        if (_b)
+            _b->mcIssued(core, tx, lpq, accepted_at, now);
+    }
+    void
+    mcDropped(CoreId core, TxId tx, std::uint64_t n, Tick now) override
+    {
+        if (_a)
+            _a->mcDropped(core, tx, n, now);
+        if (_b)
+            _b->mcDropped(core, tx, n, now);
+    }
+    void
+    nvmPersisted(CoreId core, TxId tx, bool lpq, Tick now) override
+    {
+        if (_a)
+            _a->nvmPersisted(core, tx, lpq, now);
+        if (_b)
+            _b->nvmPersisted(core, tx, lpq, now);
+    }
+
+  private:
+    TxObserver *_a;
+    TxObserver *_b;
+};
+
 } // namespace obs
 } // namespace proteus
 

@@ -171,6 +171,26 @@ struct ObservabilityConfig
     std::uint64_t txSlowest = 8;
 };
 
+/**
+ * The online persistency-order checker (src/analysis/). Off by default
+ * and entirely off the hot path when disabled: no checker object is
+ * built and every instrumented site is a single null-pointer test.
+ */
+struct AnalysisConfig
+{
+    /** Build and attach the PersistChecker for this run. */
+    bool check = false;
+    /**
+     * Mutation self-test: perturb the event stream targeting this rule
+     * index (analysis::Rule) so the checker must flag it; -1 = off.
+     */
+    int mutateRule = -1;
+    /** Seed selecting which qualifying edge the mutation hits. */
+    std::uint64_t mutateSeed = 1;
+    /** One-command repro line carried into violation reports. */
+    std::string repro;
+};
+
 /** Top-level system description. */
 struct SystemConfig
 {
@@ -185,6 +205,8 @@ struct SystemConfig
      *  in which case the MC builds no fault model and behavior is
      *  bit-identical to a faultless build. */
     faults::FaultConfig faults;
+    /** Persistency-order checker wiring (src/analysis/). */
+    AnalysisConfig analysis;
     std::uint64_t seed = 1;
     /**
      * Quiescence-driven cycle skipping in the simulation kernel. On by

@@ -334,7 +334,7 @@ TEST(WlgenWorkload, SpecChangesTheWorkload)
 
 TEST(WlgenWorkload, EveryDistributionRunsClean)
 {
-    for (const std::string &delta :
+    for (const char *delta :
          {"dist=uniform", "dist=zipf,theta=0.99",
           "dist=hot,hot-frac=0.05,hot-ops=0.95"}) {
         GenRun run(smallSpec(delta), LogScheme::Proteus, smallParams());
@@ -435,7 +435,7 @@ genJobs(const BenchOptions &opts)
 {
     std::vector<SimJob> jobs;
     for (LogScheme s : {LogScheme::PMEM, LogScheme::Proteus}) {
-        for (const std::string &delta :
+        for (const char *delta :
              {"dist=zipf,theta=0.9", "dist=uniform"}) {
             WorkloadExtras extras;
             extras.gen =

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# det-lint: grep-level determinism lint for the proteus tree.
+#
+# The simulator's contract is bit-identical output for a given seed at
+# any --jobs level (ROADMAP.md, and now the byte-identical guarantees
+# in tests/test_analysis.cc). The classic ways that contract rots are
+# textual, so a grep catches them before a flaky CI run does:
+#
+#   pointer-keyed-container   map/set keyed on a raw pointer: iteration
+#                             order tracks allocation addresses, which
+#                             differ run to run under ASLR.
+#   unseeded-rng              std::random_device, rand()/srand():
+#                             results that cannot be reproduced from
+#                             the --seed flag.
+#   wallclock-seed            time(NULL)-style seeding, same problem.
+#   inline-unordered-iteration  range-for directly over an unordered
+#                             container expression: fine for
+#                             accumulation into order-insensitive
+#                             state, but a report/JSON writer fed this
+#                             way emits rows in hash order. Iterating a
+#                             named unordered member is not flagged
+#                             (too noisy); the rule exists to force a
+#                             second look at the inline case, where a
+#                             sort is cheapest to add.
+#
+# False positives are suppressed per line with a trailing
+# `// det-lint: ok(<reason>)` comment, which keeps every waiver
+# greppable and reviewed.
+#
+# Usage: tools/lint-determinism.sh   (exits nonzero on findings)
+
+set -u
+cd "$(dirname "$0")/.."
+
+dirs="src tools bench tests examples"
+fail=0
+
+flag() {
+    local rule="$1" pattern="$2" desc="$3"
+    local hits
+    hits=$(grep -rnE --include='*.cc' --include='*.hh' "$pattern" \
+               $dirs 2>/dev/null | grep -v 'det-lint: ok' || true)
+    if [ -n "$hits" ]; then
+        echo "det-lint FAIL [$rule]: $desc"
+        echo "$hits" | sed 's/^/  /'
+        echo
+        fail=1
+    fi
+}
+
+flag pointer-keyed-container \
+    '(map|set)<[A-Za-z_:0-9 ]+\*' \
+    'container keyed on a raw pointer (iteration order = ASLR)'
+
+flag unseeded-rng \
+    'std::random_device|[^a-zA-Z_](s?rand) *\(' \
+    'RNG not derived from the --seed flag'
+
+flag wallclock-seed \
+    '[^a-zA-Z_]time *\( *(NULL|nullptr|0) *\)' \
+    'wall-clock used as a seed or input'
+
+flag inline-unordered-iteration \
+    'for *\([^)]*:[^)]*unordered' \
+    'range-for over an inline unordered expression (hash order)'
+
+if [ "$fail" -ne 0 ]; then
+    echo "det-lint: findings above; fix or annotate with" \
+         "'// det-lint: ok(<reason>)'"
+    exit 1
+fi
+echo "det-lint: clean"

@@ -62,6 +62,9 @@ usage()
         << "  --max-violations N report at most N bytes per point "
         << "(default 8)\n"
         << "  --no-serialize     skip the committed-prefix replay check\n"
+        << "  --check            arm the persistency-order checker on "
+        << "each pair's\n"
+        << "                     reference run (see proteus-check)\n"
         << "  --no-trace-cache   rebuild traces per run instead of "
         << "sharing cached bundles\n"
         << "  --no-cycle-skip    tick every cycle instead of skipping "
@@ -185,6 +188,8 @@ main(int argc, char **argv)
                 opts.maxViolations = std::stoul(value());
             } else if (arg == "--no-serialize") {
                 opts.checkSerialization = false;
+            } else if (arg == "--check") {
+                opts.check = true;
             } else if (arg == "--no-trace-cache") {
                 opts.useTraceCache = false;
             } else if (arg == "--no-cycle-skip") {

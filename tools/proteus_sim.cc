@@ -18,6 +18,7 @@
 #include <iostream>
 #include <vector>
 
+#include "harness/check_runner.hh"
 #include "harness/experiments.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/system.hh"
@@ -59,6 +60,12 @@ usage()
         << "  --set k=v          config override\n"
         << "  --no-cycle-skip    tick every cycle instead of skipping "
         << "quiescent spans (same results, slower)\n"
+        << "  --check            arm the persistency-order checker "
+        << "(see proteus-check);\n"
+        << "                     any ordering violation fails the run\n"
+        << "  --check-mutate N   seeded mutation campaign (run): every "
+        << "armed rule must\n"
+        << "                     catch one injected violation\n"
         << "  --faults SPEC      NVM media fault injection: comma list "
         << "of torn=RATE,\n"
         << "                     readflip=RATE, bits=N, endurance=N, "
@@ -192,9 +199,24 @@ int
 cmdRun(WorkloadKind kind, const CliExtras &extras,
        const BenchOptions &opts)
 {
+    if (opts.checkMutate >= 0) {
+        // Seeded mutation campaign: every armed rule must catch its
+        // own injected violation (see tools/proteus-check).
+        ProgressReporter progress(std::cerr);
+        const auto rows = runMutationCampaign(
+            extras.scheme, kind, opts,
+            static_cast<std::uint64_t>(opts.checkMutate), &progress);
+        std::cout << formatMutationReport(extras.scheme, kind, rows);
+        return allFired(rows) ? 0 : 1;
+    }
+
     SystemConfig cfg = opts.makeConfig();
     cfg.logging.scheme = extras.scheme;
     cfg.memCtrl.adr = extras.scheme != LogScheme::PMEMPCommit;
+    if (opts.check) {
+        cfg.analysis.check = true;
+        cfg.analysis.repro = checkReproLine(extras.scheme, kind, opts);
+    }
 
     WorkloadParams params;
     params.threads = opts.threads;
@@ -220,6 +242,13 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
             {makeTxStatsRow(opts, extras.scheme, kind, r)});
     }
 
+    bool check_ok = true;
+    if (opts.check && r.check) {
+        CheckRow row{extras.scheme, kind, r, *r.check};
+        std::cout << formatCheckReport(row);
+        check_ok = r.check->pass();
+    }
+
     const std::string err = system.workload().checkInvariants(
         system.heap().volatileImage());
     std::cout << "invariants:         "
@@ -228,7 +257,7 @@ cmdRun(WorkloadKind kind, const CliExtras &extras,
         system.sim().statsRegistry().dumpJson(std::cout);
     else if (extras.stats)
         system.sim().statsRegistry().dump(std::cout);
-    return r.finished && err.empty() ? 0 : 1;
+    return r.finished && err.empty() && check_ok ? 0 : 1;
 }
 
 int
@@ -241,6 +270,10 @@ cmdReplay(const std::string &path, const CliExtras &extras,
     cfg.memCtrl.adr = bundle->key.scheme != LogScheme::PMEMPCommit;
     if (cfg.cores < bundle->key.params.threads)
         cfg.cores = bundle->key.params.threads;
+    if (opts.check) {
+        cfg.analysis.check = true;
+        cfg.analysis.repro = "proteus-check replay " + path;
+    }
 
     std::cout << "replaying " << path << " ("
               << bundle->key.describe() << ")...\n";
@@ -255,6 +288,12 @@ cmdReplay(const std::string &path, const CliExtras &extras,
                               {makeTxStatsRow(opts, bundle->key.scheme,
                                               bundle->key.kind, r)});
     }
+    bool check_ok = true;
+    if (opts.check && r.check) {
+        CheckRow row{bundle->key.scheme, bundle->key.kind, r, *r.check};
+        std::cout << formatCheckReport(row);
+        check_ok = r.check->pass();
+    }
     // No workload object travels with a snapshot, so structural
     // invariants cannot be checked here — proteus-trace verify covers
     // the file's integrity instead.
@@ -262,7 +301,7 @@ cmdReplay(const std::string &path, const CliExtras &extras,
         system.sim().statsRegistry().dumpJson(std::cout);
     else if (extras.stats)
         system.sim().statsRegistry().dump(std::cout);
-    return r.finished ? 0 : 1;
+    return r.finished && check_ok ? 0 : 1;
 }
 
 int

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config in .clang-tidy) over the first-party sources
+# using the compile database CMake exports into the build directory.
+#
+#   tools/run-clang-tidy.sh [build-dir]    (default: build)
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the
+# script is safe to call from environments without LLVM; CI installs
+# clang-tidy and therefore gets the real gate. WarningsAsErrors in
+# .clang-tidy makes any finding fatal.
+
+set -u
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+        tidy="$candidate"
+        break
+    fi
+done
+if [ -z "$tidy" ]; then
+    echo "run-clang-tidy: clang-tidy not installed; skipping (CI runs it)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run-clang-tidy: $build_dir/compile_commands.json missing;"
+    echo "  configure first: cmake -B $build_dir -S ."
+    exit 1
+fi
+
+# First-party translation units only; gtest/benchmark headers are
+# filtered by HeaderFilterRegex in .clang-tidy.
+files=$(find src tools bench examples -name '*.cc' | sort)
+
+echo "run-clang-tidy: $tidy over $(echo "$files" | wc -l) files"
+# shellcheck disable=SC2086
+"$tidy" -p "$build_dir" --quiet $files
+status=$?
+if [ $status -ne 0 ]; then
+    echo "run-clang-tidy: findings above (WarningsAsErrors=*)"
+    exit $status
+fi
+echo "run-clang-tidy: clean"
